@@ -1,0 +1,327 @@
+//! Randomized KD-tree forest (FLANN-style), the tree-based baseline of the
+//! paper ("Flann" in Figure 8, and the entry-point structure of Efanna).
+//!
+//! Each tree recursively splits the data at the median of a dimension chosen
+//! at random among the few highest-variance dimensions, which is the
+//! randomized KD-tree construction of Silpa-Anan & Hartley used by FLANN.
+//! A query descends all trees with a shared best-first queue of unexplored
+//! branches and stops after checking a caller-controlled number of points
+//! (the `SearchQuality` effort), exactly the "checks" knob of FLANN.
+
+use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Parameters of the randomized KD-tree forest.
+#[derive(Debug, Clone, Copy)]
+pub struct KdForestParams {
+    /// Number of trees (FLANN's default range is 4–8).
+    pub num_trees: usize,
+    /// Maximum number of points per leaf.
+    pub leaf_size: usize,
+    /// How many of the top-variance dimensions the split dimension is drawn
+    /// from (FLANN uses 5).
+    pub split_candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KdForestParams {
+    fn default() -> Self {
+        Self {
+            num_trees: 4,
+            leaf_size: 16,
+            split_candidates: 5,
+            seed: 0x7EE5,
+        }
+    }
+}
+
+/// A node of one randomized KD-tree, stored in an arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        points: Vec<u32>,
+    },
+    Internal {
+        dim: usize,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// One randomized KD-tree.
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+/// A forest of randomized KD-trees over a base set.
+pub struct KdForest<D> {
+    base: Arc<VectorSet>,
+    metric: D,
+    trees: Vec<Tree>,
+    params: KdForestParams,
+}
+
+fn variance_per_dim(base: &VectorSet, ids: &[u32]) -> Vec<f64> {
+    let dim = base.dim();
+    let mut mean = vec![0.0f64; dim];
+    for &id in ids {
+        for (m, &x) in mean.iter_mut().zip(base.get(id as usize)) {
+            *m += f64::from(x);
+        }
+    }
+    let n = ids.len().max(1) as f64;
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0f64; dim];
+    for &id in ids {
+        for ((v, &x), m) in var.iter_mut().zip(base.get(id as usize)).zip(&mean) {
+            let d = f64::from(x) - m;
+            *v += d * d;
+        }
+    }
+    var
+}
+
+fn build_tree(base: &VectorSet, params: KdForestParams, seed: u64) -> Tree {
+    let mut nodes = Vec::new();
+    let ids: Vec<u32> = (0..base.len() as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let root = build_node(base, ids, params, &mut rng, &mut nodes);
+    Tree { nodes, root }
+}
+
+fn build_node(
+    base: &VectorSet,
+    mut ids: Vec<u32>,
+    params: KdForestParams,
+    rng: &mut StdRng,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    if ids.len() <= params.leaf_size.max(1) {
+        nodes.push(Node::Leaf { points: ids });
+        return (nodes.len() - 1) as u32;
+    }
+    // Pick the split dimension at random among the highest-variance dims.
+    let var = variance_per_dim(base, &ids);
+    let mut dims: Vec<usize> = (0..base.dim()).collect();
+    dims.sort_unstable_by(|&a, &b| var[b].total_cmp(&var[a]));
+    let top = params.split_candidates.clamp(1, dims.len());
+    let dim = dims[rng.random_range(0..top)];
+
+    // Median split on that dimension.
+    ids.sort_unstable_by(|&a, &b| {
+        base.get(a as usize)[dim].total_cmp(&base.get(b as usize)[dim])
+    });
+    let mid = ids.len() / 2;
+    let threshold = base.get(ids[mid] as usize)[dim];
+    let right_ids = ids.split_off(mid);
+    let left_ids = ids;
+    if left_ids.is_empty() || right_ids.is_empty() {
+        // Degenerate split (all values equal): stop recursing.
+        let mut all = left_ids;
+        all.extend(right_ids);
+        nodes.push(Node::Leaf { points: all });
+        return (nodes.len() - 1) as u32;
+    }
+    let left = build_node(base, left_ids, params, rng, nodes);
+    let right = build_node(base, right_ids, params, rng, nodes);
+    nodes.push(Node::Internal { dim, threshold, left, right });
+    (nodes.len() - 1) as u32
+}
+
+/// Priority-queue entry for best-first branch exploration, ordered by the
+/// lower bound of the distance from the query to the branch's half-space.
+#[derive(PartialEq)]
+struct Branch {
+    bound: f32,
+    tree: usize,
+    node: u32,
+}
+
+impl Eq for Branch {}
+impl PartialOrd for Branch {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Branch {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound.total_cmp(&other.bound).then(self.node.cmp(&other.node))
+    }
+}
+
+impl<D: Distance> KdForest<D> {
+    /// Builds the forest over `base`.
+    pub fn build(base: Arc<VectorSet>, metric: D, params: KdForestParams) -> Self {
+        let trees = (0..params.num_trees.max(1))
+            .map(|t| build_tree(&base, params, params.seed.wrapping_add(t as u64)))
+            .collect();
+        Self { base, metric, trees, params }
+    }
+
+    /// Greedy descent of one tree collecting unexplored sibling branches.
+    fn descend(
+        &self,
+        tree_idx: usize,
+        query: &[f32],
+        heap: &mut BinaryHeap<Reverse<Branch>>,
+        out: &mut Vec<u32>,
+        start_node: u32,
+    ) {
+        let tree = &self.trees[tree_idx];
+        let mut node = start_node;
+        loop {
+            match &tree.nodes[node as usize] {
+                Node::Leaf { points } => {
+                    out.extend_from_slice(points);
+                    return;
+                }
+                Node::Internal { dim, threshold, left, right } => {
+                    let diff = query[*dim] - threshold;
+                    let (near, far) = if diff < 0.0 { (*left, *right) } else { (*right, *left) };
+                    heap.push(Reverse(Branch {
+                        bound: diff * diff,
+                        tree: tree_idx,
+                        node: far,
+                    }));
+                    node = near;
+                }
+            }
+        }
+    }
+
+    /// Returns the candidate ids visited while checking roughly
+    /// `max_checks` points across the forest (FLANN's "checks" parameter),
+    /// together with the number of points actually examined.
+    pub fn candidates(&self, query: &[f32], max_checks: usize) -> Vec<u32> {
+        let mut heap: BinaryHeap<Reverse<Branch>> = BinaryHeap::new();
+        let mut out: Vec<u32> = Vec::with_capacity(max_checks.max(16));
+        for t in 0..self.trees.len() {
+            self.descend(t, query, &mut heap, &mut out, self.trees[t].root);
+            if out.len() >= max_checks {
+                break;
+            }
+        }
+        while out.len() < max_checks {
+            let Some(Reverse(branch)) = heap.pop() else { break };
+            self.descend(branch.tree, query, &mut heap, &mut out, branch.node);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The forest parameters.
+    pub fn params(&self) -> &KdForestParams {
+        &self.params
+    }
+}
+
+impl<D: Distance> AnnIndex for KdForest<D> {
+    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+        let candidates = self.candidates(query, quality.effort.max(k));
+        let mut scored: Vec<(u32, f32)> = candidates
+            .into_iter()
+            .map(|id| (id, self.metric.distance(query, self.base.get(id as usize))))
+            .collect();
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(id, _)| id).collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.nodes.len() * std::mem::size_of::<Node>()
+                + t.nodes
+                    .iter()
+                    .map(|n| match n {
+                        Node::Leaf { points } => points.len() * 4,
+                        Node::Internal { .. } => 0,
+                    })
+                    .sum::<usize>())
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "Flann-KD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::ground_truth::exact_knn;
+    use nsg_vectors::metrics::mean_precision;
+    use nsg_vectors::synthetic::uniform;
+
+    #[test]
+    fn full_checks_recover_exact_neighbors() {
+        let base = Arc::new(uniform(500, 8, 3));
+        let queries = uniform(20, 8, 4);
+        let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
+        let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| forest.search(queries.get(q), 5, SearchQuality::new(500)))
+            .collect();
+        assert_eq!(mean_precision(&results, &gt, 5), 1.0);
+    }
+
+    #[test]
+    fn more_checks_do_not_hurt_precision() {
+        let base = Arc::new(uniform(2000, 16, 7));
+        let queries = uniform(30, 16, 8);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
+        let few: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| forest.search(queries.get(q), 10, SearchQuality::new(50)))
+            .collect();
+        let many: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| forest.search(queries.get(q), 10, SearchQuality::new(1000)))
+            .collect();
+        let p_few = mean_precision(&few, &gt, 10);
+        let p_many = mean_precision(&many, &gt, 10);
+        assert!(p_many >= p_few);
+        assert!(p_many > 0.8, "precision with 1000 checks too low: {p_many}");
+    }
+
+    #[test]
+    fn candidate_count_tracks_effort() {
+        let base = Arc::new(uniform(3000, 8, 9));
+        let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
+        let small = forest.candidates(base.get(0), 32);
+        let large = forest.candidates(base.get(0), 512);
+        assert!(small.len() <= large.len());
+        assert!(large.len() >= 256, "large candidate set unexpectedly small: {}", large.len());
+    }
+
+    #[test]
+    fn duplicate_coordinates_build_without_infinite_recursion() {
+        // All points identical: the degenerate-split guard must terminate.
+        let base = Arc::new(VectorSet::from_rows(3, &[[1.0, 1.0, 1.0]; 64]));
+        let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
+        let res = forest.search(&[1.0, 1.0, 1.0], 3, SearchQuality::new(64));
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn tiny_base_is_handled() {
+        let base = Arc::new(uniform(3, 4, 1));
+        let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
+        let res = forest.search(base.get(1), 5, SearchQuality::new(10));
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0], 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! KGraph / GNNS baseline: Algorithm 1 run directly on the (approximate) kNN
+//! graph with random entry points.
+//!
+//! This is the simplest graph baseline of the paper (Tables 2–4, Figure 6).
+//! Its index is just the kNN graph, so its out-degree equals the graph's `k`
+//! — which is why the paper reports KGraph's optimal degree in the hundreds
+//! and a correspondingly large index.
+
+use nsg_core::graph::DirectedGraph;
+use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of the KGraph baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct KGraphParams {
+    /// kNN-graph construction parameters (the graph's `k` is its out-degree).
+    pub knn: NnDescentParams,
+    /// Number of random entry points seeded into the pool per query.
+    pub num_entry_points: usize,
+    /// RNG seed for entry-point selection.
+    pub seed: u64,
+}
+
+impl Default for KGraphParams {
+    fn default() -> Self {
+        Self {
+            knn: NnDescentParams { k: 40, ..Default::default() },
+            num_entry_points: 4,
+            seed: 0x4B47,
+        }
+    }
+}
+
+/// The KGraph index: a kNN graph plus the base vectors.
+pub struct KGraphIndex<D> {
+    base: Arc<VectorSet>,
+    metric: D,
+    graph: DirectedGraph,
+    params: KGraphParams,
+}
+
+impl<D: Distance + Sync> KGraphIndex<D> {
+    /// Builds the kNN graph with NN-Descent and wraps it for searching.
+    pub fn build(base: Arc<VectorSet>, metric: D, params: KGraphParams) -> Self {
+        let knn = build_nn_descent(&base, params.knn, &metric);
+        Self::from_knn_graph(base, metric, &knn, params)
+    }
+
+    /// Wraps an existing kNN graph (shared with Efanna / DPG experiments so
+    /// the substrate is built once).
+    pub fn from_knn_graph(base: Arc<VectorSet>, metric: D, knn: &KnnGraph, params: KGraphParams) -> Self {
+        assert_eq!(knn.len(), base.len(), "kNN graph does not match the base set");
+        let adjacency: Vec<Vec<u32>> = (0..knn.len() as u32).map(|v| knn.neighbor_ids(v).collect()).collect();
+        Self {
+            base,
+            metric,
+            graph: DirectedGraph::from_adjacency(adjacency),
+            params,
+        }
+    }
+
+    /// Random entry points for one query (deterministic per query content via
+    /// a per-call RNG seeded from the index seed).
+    fn entry_points(&self, salt: u64) -> Vec<u32> {
+        let n = self.base.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ salt);
+        (0..self.params.num_entry_points.max(1))
+            .map(|_| rng.random_range(0..n as u32))
+            .collect()
+    }
+
+    /// Search with instrumentation (used by the distance-counting experiment).
+    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
+        let starts = self.entry_points(pool_size as u64);
+        search_on_graph(
+            &self.graph,
+            &self.base,
+            query,
+            &starts,
+            SearchParams::new(pool_size, k),
+            &self.metric,
+        )
+    }
+
+    /// The underlying graph (for Table 2 / Table 4 statistics).
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+}
+
+impl<D: Distance + Sync> AnnIndex for KGraphIndex<D> {
+    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+        self.search_with_stats(query, k, quality.effort).ids
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes_fixed_degree()
+    }
+
+    fn name(&self) -> &'static str {
+        "KGraph"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::ground_truth::exact_knn;
+    use nsg_vectors::metrics::mean_precision;
+    use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+
+    #[test]
+    fn kgraph_reaches_high_precision_with_large_pool() {
+        let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 2000, 20, 11);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let index = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, KGraphParams::default());
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+            .collect();
+        let p = mean_precision(&results, &gt, 10);
+        assert!(p > 0.85, "KGraph precision too low: {p}");
+    }
+
+    #[test]
+    fn graph_out_degree_equals_knn_k() {
+        let (base, _) = base_and_queries(SyntheticKind::DeepLike, 1500, 1, 3);
+        let base = Arc::new(base);
+        let params = KGraphParams {
+            knn: NnDescentParams { k: 20, ..Default::default() },
+            ..Default::default()
+        };
+        let index = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, params);
+        assert_eq!(index.graph().max_out_degree(), 20);
+        assert!(index.graph().average_out_degree() > 15.0);
+    }
+
+    #[test]
+    fn self_queries_are_found() {
+        let (base, _) = base_and_queries(SyntheticKind::RandUniform, 1200, 1, 5);
+        let base = Arc::new(base);
+        let index = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, KGraphParams::default());
+        let mut hits = 0;
+        for v in (0..base.len()).step_by(100) {
+            if index.search(base.get(v), 1, SearchQuality::new(60)) == vec![v as u32] {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 10, "only {hits}/12 self-queries found");
+    }
+
+    #[test]
+    fn memory_model_uses_fixed_degree_layout() {
+        let (base, _) = base_and_queries(SyntheticKind::RandUniform, 400, 1, 5);
+        let base = Arc::new(base);
+        let index = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, KGraphParams::default());
+        assert_eq!(
+            index.memory_bytes(),
+            index.graph().memory_bytes_fixed_degree()
+        );
+        assert_eq!(index.name(), "KGraph");
+    }
+}

@@ -1,0 +1,267 @@
+//! Lloyd's k-means with k-means++ initialization.
+//!
+//! Shared substrate of the quantization-based baseline (IVF-PQ): the coarse
+//! quantizer and every product-quantizer codebook are trained with this
+//! routine, mirroring how Faiss trains its IVFPQ indices.
+
+use nsg_vectors::distance::{squared_l2, SquaredEuclidean, Distance};
+use nsg_vectors::VectorSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parameters of the k-means training loop.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansParams {
+    /// Number of centroids.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop early when the relative improvement of the quantization error
+    /// drops below this threshold.
+    pub tolerance: f64,
+    /// RNG seed of the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            max_iters: 20,
+            tolerance: 1e-4,
+            seed: 0xC1A0,
+        }
+    }
+}
+
+/// A trained codebook: `k` centroids of the training data's dimension.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: VectorSet,
+}
+
+impl KMeans {
+    /// Trains a codebook on `data` (k-means++ init, Lloyd iterations).
+    ///
+    /// `k` is clamped to the number of training points; training on an empty
+    /// set yields an empty codebook.
+    pub fn train(data: &VectorSet, params: KMeansParams) -> Self {
+        let n = data.len();
+        let k = params.k.min(n).max(usize::from(n > 0));
+        if n == 0 || k == 0 {
+            return Self {
+                centroids: VectorSet::new(data.dim().max(1)),
+            };
+        }
+        let dim = data.dim();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // k-means++ seeding.
+        let mut centroids = VectorSet::with_capacity(dim, k);
+        let first = rng.random_range(0..n);
+        centroids.push(data.get(first));
+        let mut min_dist: Vec<f32> = (0..n)
+            .map(|i| squared_l2(data.get(i), centroids.get(0)))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = min_dist.iter().map(|&d| f64::from(d)).sum();
+            let next = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &d) in min_dist.iter().enumerate() {
+                    target -= f64::from(d);
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids.push(data.get(next));
+            let new_c = centroids.len() - 1;
+            for i in 0..n {
+                let d = squared_l2(data.get(i), centroids.get(new_c));
+                if d < min_dist[i] {
+                    min_dist[i] = d;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignment: Vec<usize> = vec![0; n];
+        let mut prev_error = f64::INFINITY;
+        for _ in 0..params.max_iters {
+            // Assignment step (parallel).
+            let scored: Vec<(usize, f32)> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let v = data.get(i);
+                    let mut best = 0usize;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..centroids.len() {
+                        let d = squared_l2(v, centroids.get(c));
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    (best, best_d)
+                })
+                .collect();
+            let error: f64 = scored.iter().map(|&(_, d)| f64::from(d)).sum();
+            for (i, &(c, _)) in scored.iter().enumerate() {
+                assignment[i] = c;
+            }
+
+            // Update step.
+            let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, &c) in assignment.iter().enumerate() {
+                counts[c] += 1;
+                for (s, &x) in sums[c].iter_mut().zip(data.get(i)) {
+                    *s += f64::from(x);
+                }
+            }
+            let mut new_centroids = VectorSet::with_capacity(dim, centroids.len());
+            for c in 0..centroids.len() {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster with a random point.
+                    new_centroids.push(data.get(rng.random_range(0..n)));
+                } else {
+                    let row: Vec<f32> = sums[c].iter().map(|&s| (s / counts[c] as f64) as f32).collect();
+                    new_centroids.push(&row);
+                }
+            }
+            centroids = new_centroids;
+
+            if prev_error.is_finite() {
+                let improvement = (prev_error - error) / prev_error.max(1e-12);
+                if improvement.abs() < params.tolerance {
+                    break;
+                }
+            }
+            prev_error = error;
+        }
+
+        Self { centroids }
+    }
+
+    /// The trained centroids.
+    pub fn centroids(&self) -> &VectorSet {
+        &self.centroids
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index of the centroid closest to `v`.
+    pub fn assign(&self, v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.centroids.len() {
+            let d = squared_l2(v, self.centroids.get(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Indices of the `m` centroids closest to `v`, best first (used by IVF to
+    /// pick the probed lists).
+    pub fn assign_top(&self, v: &[f32], m: usize) -> Vec<usize> {
+        let mut scored: Vec<(usize, f32)> = (0..self.centroids.len())
+            .map(|c| (c, squared_l2(v, self.centroids.get(c))))
+            .collect();
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        scored.truncate(m);
+        scored.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Mean quantization error of `data` under this codebook.
+    pub fn quantization_error(&self, data: &VectorSet) -> f64 {
+        if data.is_empty() || self.centroids.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..data.len())
+            .map(|i| {
+                let v = data.get(i);
+                f64::from(SquaredEuclidean.distance(v, self.centroids.get(self.assign(v))))
+            })
+            .sum();
+        total / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::synthetic::{gaussian, uniform};
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        // Two clusters far apart on a line.
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push([0.0 + (i % 5) as f32 * 0.01, 0.0]);
+            rows.push([100.0 + (i % 5) as f32 * 0.01, 0.0]);
+        }
+        let data = VectorSet::from_rows(2, &rows);
+        let km = KMeans::train(&data, KMeansParams { k: 2, ..Default::default() });
+        assert_eq!(km.k(), 2);
+        let c0 = km.centroids().get(0)[0];
+        let c1 = km.centroids().get(1)[0];
+        let (lo, hi) = if c0 < c1 { (c0, c1) } else { (c1, c0) };
+        assert!(lo < 5.0 && hi > 95.0, "centroids {lo} {hi} did not separate the clusters");
+        assert_ne!(km.assign(&[0.0, 0.0]), km.assign(&[100.0, 0.0]));
+    }
+
+    #[test]
+    fn k_is_clamped_to_data_size() {
+        let data = uniform(5, 4, 1);
+        let km = KMeans::train(&data, KMeansParams { k: 50, ..Default::default() });
+        assert_eq!(km.k(), 5);
+    }
+
+    #[test]
+    fn empty_training_set_yields_empty_codebook() {
+        let data = VectorSet::new(8);
+        let km = KMeans::train(&data, KMeansParams::default());
+        assert_eq!(km.k(), 0);
+        assert_eq!(km.quantization_error(&data), 0.0);
+    }
+
+    #[test]
+    fn more_centroids_reduce_quantization_error() {
+        let data = gaussian(600, 8, 0.0, 1.0, 7);
+        let small = KMeans::train(&data, KMeansParams { k: 4, seed: 1, ..Default::default() });
+        let large = KMeans::train(&data, KMeansParams { k: 64, seed: 1, ..Default::default() });
+        assert!(large.quantization_error(&data) < small.quantization_error(&data));
+    }
+
+    #[test]
+    fn assign_top_orders_by_distance() {
+        let data = uniform(200, 6, 9);
+        let km = KMeans::train(&data, KMeansParams { k: 10, ..Default::default() });
+        let q = data.get(0);
+        let top = km.assign_top(q, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], km.assign(q));
+        let d: Vec<f32> = top.iter().map(|&c| squared_l2(q, km.centroids().get(c))).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let data = uniform(300, 4, 11);
+        let a = KMeans::train(&data, KMeansParams { k: 8, seed: 42, ..Default::default() });
+        let b = KMeans::train(&data, KMeansParams { k: 8, seed: 42, ..Default::default() });
+        assert_eq!(a.centroids(), b.centroids());
+    }
+}

@@ -1,0 +1,45 @@
+//! Baseline ANNS algorithms used in the paper's evaluation.
+//!
+//! One module per compared method, every index implementing
+//! [`nsg_core::index::AnnIndex`] so the evaluation harness can sweep them
+//! uniformly:
+//!
+//! | Module | Paper name | Family |
+//! |--------|------------|--------|
+//! | [`serial`] | Serial Scan | exact |
+//! | [`kdtree`] | Flann (randomized KD-trees) | tree |
+//! | [`lsh`] | FALCONN (multi-probe LSH) | hashing |
+//! | [`kmeans`] + [`ivfpq`] | Faiss (IVFPQ) | quantization |
+//! | [`kgraph`] | KGraph | graph (kNN graph) |
+//! | [`efanna`] | Efanna | graph + trees |
+//! | [`nsw`] | NSW | graph (small world) |
+//! | [`hnsw`] | HNSW | graph (hierarchical) |
+//! | [`fanng`] | FANNG | graph (RNG pruning) |
+//! | [`dpg`] | DPG | graph (angle diversification) |
+//! | [`nsg_naive`] | NSG-Naive | ablation of the NSG |
+
+pub mod dpg;
+pub mod efanna;
+pub mod fanng;
+pub mod hnsw;
+pub mod ivfpq;
+pub mod kdtree;
+pub mod kgraph;
+pub mod kmeans;
+pub mod lsh;
+pub mod nsg_naive;
+pub mod nsw;
+pub mod serial;
+
+pub use dpg::{DpgIndex, DpgParams};
+pub use efanna::{EfannaIndex, EfannaParams};
+pub use fanng::{FanngIndex, FanngParams};
+pub use hnsw::{HnswIndex, HnswParams};
+pub use ivfpq::{IvfPq, IvfPqParams};
+pub use kdtree::{KdForest, KdForestParams};
+pub use kgraph::{KGraphIndex, KGraphParams};
+pub use kmeans::{KMeans, KMeansParams};
+pub use lsh::{LshIndex, LshParams};
+pub use nsg_naive::{NsgNaiveIndex, NsgNaiveParams};
+pub use nsw::{NswIndex, NswParams};
+pub use serial::SerialScan;

@@ -1,0 +1,184 @@
+//! NSW baseline (Malkov et al. 2014): incremental navigable-small-world graph.
+//!
+//! Points are inserted one at a time; each new point is connected
+//! bidirectionally to the `m` nearest points found by a greedy search of the
+//! graph built so far. Long-range links arise naturally because early
+//! insertions connect points that are far apart in the final dataset. The
+//! paper discusses NSW as the predecessor of HNSW whose degree grows too
+//! large and whose connectivity is fragile — behaviour reproduced here.
+
+use nsg_core::graph::DirectedGraph;
+use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of the NSW baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct NswParams {
+    /// Number of bidirectional links created per inserted point.
+    pub m: usize,
+    /// Candidate pool size of the insertion-time search.
+    pub ef_construction: usize,
+    /// Number of random entry points per query.
+    pub num_entry_points: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NswParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 60,
+            num_entry_points: 4,
+            seed: 0x4E57,
+        }
+    }
+}
+
+/// The NSW index: a single-layer undirected small-world graph.
+pub struct NswIndex<D> {
+    base: Arc<VectorSet>,
+    metric: D,
+    graph: DirectedGraph,
+    params: NswParams,
+}
+
+impl<D: Distance + Sync> NswIndex<D> {
+    /// Builds the graph by sequential insertion.
+    pub fn build(base: Arc<VectorSet>, metric: D, params: NswParams) -> Self {
+        let n = base.len();
+        let mut graph = DirectedGraph::new(n);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        // Insert in a random order so early long-range links are not biased by
+        // the generator's cluster ordering.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+
+        let mut inserted: Vec<u32> = Vec::with_capacity(n);
+        for &v in &order {
+            if inserted.is_empty() {
+                inserted.push(v);
+                continue;
+            }
+            // Search the partially built graph for the nearest already-inserted
+            // points; the graph only contains inserted nodes, so restricting
+            // the start node to one of them keeps the search inside them.
+            let start = inserted[rng.random_range(0..inserted.len())];
+            let result = search_on_graph(
+                &graph,
+                &base,
+                base.get(v as usize),
+                &[start],
+                SearchParams::new(params.ef_construction.max(params.m), params.m.max(1)),
+                &metric,
+            );
+            for &u in result.ids.iter().take(params.m.max(1)) {
+                graph.add_edge(v, u);
+                graph.add_edge(u, v);
+            }
+            inserted.push(v);
+        }
+        Self { base, metric, graph, params }
+    }
+
+    /// Search with instrumentation (random entry points, as in the original
+    /// multi-search NSW procedure).
+    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
+        let n = self.base.len();
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xABCD ^ pool_size as u64);
+        let starts: Vec<u32> = if n == 0 {
+            Vec::new()
+        } else {
+            (0..self.params.num_entry_points.max(1))
+                .map(|_| rng.random_range(0..n as u32))
+                .collect()
+        };
+        search_on_graph(
+            &self.graph,
+            &self.base,
+            query,
+            &starts,
+            SearchParams::new(pool_size, k),
+            &self.metric,
+        )
+    }
+
+    /// The small-world graph (for Table 2 / Table 4 statistics).
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+}
+
+impl<D: Distance + Sync> AnnIndex for NswIndex<D> {
+    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+        self.search_with_stats(query, k, quality.effort).ids
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes_exact()
+    }
+
+    fn name(&self) -> &'static str {
+        "NSW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::ground_truth::exact_knn;
+    use nsg_vectors::metrics::mean_precision;
+    use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+
+    #[test]
+    fn nsw_reaches_reasonable_precision() {
+        let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 20, 47);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, NswParams::default());
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+            .collect();
+        let p = mean_precision(&results, &gt, 10);
+        assert!(p > 0.8, "NSW precision too low: {p}");
+    }
+
+    #[test]
+    fn graph_is_undirected_by_construction() {
+        let (base, _) = base_and_queries(SyntheticKind::RandUniform, 400, 1, 49);
+        let base = Arc::new(base);
+        let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, NswParams::default());
+        for (v, u) in index.graph().edges() {
+            assert!(index.graph().neighbors(u).contains(&v));
+        }
+    }
+
+    #[test]
+    fn average_degree_exceeds_m_due_to_reverse_links() {
+        // Every insertion adds m out-edges plus reverse edges on its targets,
+        // so hubs accumulate degree well beyond m — the degree-growth problem
+        // the paper attributes to NSW.
+        let (base, _) = base_and_queries(SyntheticKind::DeepLike, 800, 1, 51);
+        let base = Arc::new(base);
+        let params = NswParams { m: 8, ..Default::default() };
+        let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, params);
+        assert!(index.graph().average_out_degree() > 8.0);
+        assert!(index.graph().max_out_degree() > 16);
+    }
+
+    #[test]
+    fn tiny_inputs_build_and_search() {
+        let base = Arc::new(nsg_vectors::synthetic::uniform(3, 4, 1));
+        let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, NswParams::default());
+        let res = index.search(base.get(0), 2, SearchQuality::new(10));
+        assert_eq!(res.len(), 2);
+        assert_eq!(index.name(), "NSW");
+    }
+}

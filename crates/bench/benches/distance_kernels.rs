@@ -1,0 +1,25 @@
+//! Micro-benchmarks of the distance kernels — the innermost loop of every
+//! search in the workspace (the paper notes most search time is spent on
+//! distance calculations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_vectors::distance::{dot, squared_l2};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    for &dim in &[96usize, 128, 960] {
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("squared_l2", dim), &dim, |bench, _| {
+            bench.iter(|| squared_l2(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of the kNN-graph substrates: NN-Descent versus the brute-force
+//! exact builder at increasing sizes (the n^1.14-ish versus n^2 contrast of
+//! §3.5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
+use nsg_vectors::distance::SquaredEuclidean;
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+use std::hint::black_box;
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_graph_build");
+    for &n in &[1000usize, 3000] {
+        let (base, _) = base_and_queries(SyntheticKind::SiftLike, n, 1, 13);
+        group.bench_with_input(BenchmarkId::new("nn_descent_k20", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(build_nn_descent(
+                    &base,
+                    NnDescentParams { k: 20, ..Default::default() },
+                    &SquaredEuclidean,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_k20", n), &n, |bench, _| {
+            bench.iter(|| black_box(build_exact_knn_graph(&base, 20, &SquaredEuclidean)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_knn
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 6: queries-per-second versus precision for the graph-based methods
+//! (plus the serial-scan reference) on the four million-scale stand-ins, in
+//! the high-precision region.
+//!
+//! Paper shape to check: NSG dominates the other graph methods (top-right of
+//! every plot), HNSW is the runner-up, NSG-Naive trails the full NSG, and the
+//! gap widens on the higher-LID datasets (RAND / GAUSS).
+
+use nsg_bench::common::{build_graph_methods, output_dir, Scale};
+use nsg_baselines::SerialScan;
+use nsg_core::index::AnnIndex;
+use nsg_eval::report::{fmt_f64, Table};
+use nsg_eval::sweep::{effort_ladder, sweep_index};
+use nsg_vectors::distance::SquaredEuclidean;
+use nsg_vectors::ground_truth::exact_knn;
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let k = 10;
+    let efforts = effort_ladder(10, 400, 1.8);
+    let mut table = Table::new(vec!["dataset", "algorithm", "effort", "precision", "qps"]);
+
+    for (i, kind) in [
+        SyntheticKind::SiftLike,
+        SyntheticKind::GistLike,
+        SyntheticKind::RandUniform,
+        SyntheticKind::Gauss,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (base, queries) = base_and_queries(kind, scale.base_size(), scale.query_size(), 1000 + i as u64);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, k, &SquaredEuclidean);
+
+        let mut methods = build_graph_methods(&base);
+        let serial: Box<dyn AnnIndex> = Box::new(SerialScan::new((*base).clone(), SquaredEuclidean));
+        for b in methods.drain(..) {
+            let points = sweep_index(b.index.as_ref(), &queries, &gt, k, &efforts);
+            for p in points {
+                table.add_row(vec![
+                    kind.short_name().to_string(),
+                    b.name.to_string(),
+                    p.effort.to_string(),
+                    fmt_f64(p.precision, 4),
+                    fmt_f64(p.qps, 1),
+                ]);
+            }
+        }
+        // Serial scan: exact (precision 1.0), one operating point.
+        let points = sweep_index(serial.as_ref(), &queries, &gt, k, &[1]);
+        table.add_row(vec![
+            kind.short_name().to_string(),
+            "Serial-Scan".to_string(),
+            "-".to_string(),
+            fmt_f64(points[0].precision, 4),
+            fmt_f64(points[0].qps, 1),
+        ]);
+    }
+
+    println!("Figure 6 — QPS vs precision, graph-based methods (reproduction scale)\n");
+    println!("{}", table.render());
+    let csv = output_dir().join("fig6_qps_precision.csv");
+    table.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

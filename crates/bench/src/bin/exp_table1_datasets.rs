@@ -1,0 +1,53 @@
+//! Table 1: dataset statistics — dimension, local intrinsic dimension (LID),
+//! number of base vectors and number of query vectors — for the laptop-scale
+//! stand-ins of the paper's datasets.
+//!
+//! Paper reference values (at full scale): SIFT1M D=128 LID=12.9,
+//! GIST1M D=960 LID=29.1, RAND4M D=128 LID=49.5, GAUSS5M D=128 LID=48.1.
+
+use nsg_bench::common::{output_dir, Scale};
+use nsg_eval::report::{fmt_f64, Table};
+use nsg_vectors::lid::{estimate_lid, LidConfig};
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n_base = scale.base_size();
+    let n_query = scale.query_size();
+
+    let mut table = Table::new(vec!["dataset", "paper-name", "D", "LID", "No. of base", "No. of query"]);
+    for (i, kind) in [
+        SyntheticKind::SiftLike,
+        SyntheticKind::GistLike,
+        SyntheticKind::RandUniform,
+        SyntheticKind::Gauss,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (base, queries) = base_and_queries(kind, n_base, n_query, 1000 + i as u64);
+        let lid = estimate_lid(
+            &base,
+            LidConfig {
+                k: 20,
+                sample: 300.min(base.len()),
+                seed: 42,
+            },
+        )
+        .unwrap_or(f64::NAN);
+        table.add_row(vec![
+            kind.short_name().to_string(),
+            kind.paper_name().to_string(),
+            base.dim().to_string(),
+            fmt_f64(lid, 1),
+            base.len().to_string(),
+            queries.len().to_string(),
+        ]);
+    }
+
+    println!("Table 1 — dataset statistics (reproduction scale)\n");
+    println!("{}", table.render());
+    let csv = output_dir().join("table1_datasets.csv");
+    table.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

@@ -1,0 +1,58 @@
+//! Table 2: graph-index statistics — memory under the fixed-degree layout,
+//! average out-degree (AOD), maximum out-degree (MOD) and the percentage of
+//! nodes linked to their exact nearest neighbor (NN%) — for every graph-based
+//! method on each dataset.
+//!
+//! Paper shape to check: NSG has the smallest memory and the lowest AOD among
+//! the graph methods while keeping NN% near 100; HNSW/FANNG lose a large
+//! fraction of nearest-neighbor edges; DPG/KGraph/Efanna carry far larger
+//! indices.
+
+use nsg_bench::common::{build_graph_methods, output_dir, Scale};
+use nsg_core::stats::{graph_index_stats, nn_percentage_from_exact};
+use nsg_eval::report::{fmt_f64, Table};
+use nsg_knn::build_exact_knn_graph;
+use nsg_vectors::distance::SquaredEuclidean;
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(vec![
+        "dataset", "algorithm", "memory(MB)", "AOD", "MOD", "NN(%)",
+    ]);
+
+    for (i, kind) in [
+        SyntheticKind::SiftLike,
+        SyntheticKind::GistLike,
+        SyntheticKind::RandUniform,
+        SyntheticKind::Gauss,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (base, _) = base_and_queries(kind, scale.base_size(), scale.query_size(), 1000 + i as u64);
+        let base = Arc::new(base);
+        // Exact 1-NN reference used by the NN% column for every method.
+        let exact = build_exact_knn_graph(&base, 1, &SquaredEuclidean);
+        let built = build_graph_methods(&base);
+        for b in &built {
+            let stats = graph_index_stats(&b.graph, &base, &SquaredEuclidean);
+            let nn_pct = nn_percentage_from_exact(&b.graph, &exact);
+            table.add_row(vec![
+                kind.short_name().to_string(),
+                b.name.to_string(),
+                fmt_f64(b.index.memory_bytes() as f64 / (1024.0 * 1024.0), 2),
+                fmt_f64(stats.average_out_degree, 1),
+                stats.max_out_degree.to_string(),
+                fmt_f64(nn_pct, 1),
+            ]);
+        }
+    }
+
+    println!("Table 2 — graph-index statistics (reproduction scale)\n");
+    println!("{}", table.render());
+    let csv = output_dir().join("table2_graph_stats.csv");
+    table.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

@@ -1,0 +1,46 @@
+//! Table 4: connectivity of the graph indices — the number of strongly
+//! connected components (SCC) for the methods whose search starts from a
+//! random node, and reachability-from-the-entry-point (recorded as 1 when
+//! every node is reachable) for NSG and HNSW.
+//!
+//! Paper shape to check: only NSG and HNSW guarantee connectivity on every
+//! dataset; the other methods fragment into multiple SCCs, increasingly so on
+//! the harder (higher-LID) datasets.
+
+use nsg_bench::common::{build_graph_methods, output_dir, Scale};
+use nsg_core::stats::connectivity_metric;
+use nsg_eval::report::Table;
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(vec!["dataset", "algorithm", "SCC amount"]);
+
+    for (i, kind) in [
+        SyntheticKind::SiftLike,
+        SyntheticKind::GistLike,
+        SyntheticKind::RandUniform,
+        SyntheticKind::Gauss,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (base, _) = base_and_queries(kind, scale.base_size(), scale.query_size(), 1000 + i as u64);
+        let base = Arc::new(base);
+        for b in build_graph_methods(&base) {
+            let scc = connectivity_metric(&b.graph, b.fixed_entry);
+            table.add_row(vec![
+                kind.short_name().to_string(),
+                b.name.to_string(),
+                scc.to_string(),
+            ]);
+        }
+    }
+
+    println!("Table 4 — graph connectivity (reproduction scale)\n");
+    println!("{}", table.render());
+    let csv = output_dir().join("table4_connectivity.csv");
+    table.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

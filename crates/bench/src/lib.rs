@@ -1,0 +1,3 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+
+pub mod common;

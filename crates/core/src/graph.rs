@@ -1,0 +1,214 @@
+//! Directed graph adjacency used by every graph index in the workspace.
+//!
+//! The paper's indices are directed graphs over the node ids `0..n`. Lists are
+//! stored per node; the memory model mirrors the released NSG / HNSW layout in
+//! which every node is allocated `max_out_degree` slots so neighbor lists are
+//! contiguous (Table 2 reports index sizes computed exactly this way).
+
+use serde::{Deserialize, Serialize};
+
+/// A directed graph on nodes `0..n` with per-node out-neighbor lists.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DirectedGraph {
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl DirectedGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Wraps prebuilt adjacency lists.
+    ///
+    /// # Panics
+    /// Panics if any edge points outside `0..n`.
+    pub fn from_adjacency(adjacency: Vec<Vec<u32>>) -> Self {
+        let n = adjacency.len() as u32;
+        for (v, list) in adjacency.iter().enumerate() {
+            for &u in list {
+                assert!(u < n, "edge {v} -> {u} points outside the graph");
+            }
+        }
+        Self { adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Out-neighbors of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// Adds the directed edge `from -> to` if it is not already present.
+    /// Returns `true` when the edge was inserted.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: u32, to: u32) -> bool {
+        assert!((to as usize) < self.adjacency.len(), "edge target out of range");
+        let list = &mut self.adjacency[from as usize];
+        if list.contains(&to) {
+            false
+        } else {
+            list.push(to);
+            true
+        }
+    }
+
+    /// Replaces the out-neighbor list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` or any listed neighbor is out of range.
+    pub fn set_neighbors(&mut self, v: u32, neighbors: Vec<u32>) {
+        let n = self.adjacency.len() as u32;
+        for &u in &neighbors {
+            assert!(u < n, "edge {v} -> {u} points outside the graph");
+        }
+        self.adjacency[v as usize] = neighbors;
+    }
+
+    /// Average out-degree (the paper's AOD column in Table 2).
+    pub fn average_out_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Maximum out-degree (the paper's MOD column in Table 2).
+    pub fn max_out_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Index memory in bytes under the fixed-degree layout the paper uses for
+    /// Table 2: every node is allocated `max_out_degree` u32 slots plus one
+    /// u32 degree counter, enabling contiguous access during search.
+    pub fn memory_bytes_fixed_degree(&self) -> usize {
+        let width = self.max_out_degree();
+        self.num_nodes() * (width + 1) * std::mem::size_of::<u32>()
+    }
+
+    /// Index memory in bytes if lists were stored exactly (CSR-style), used to
+    /// contrast with the fixed-degree model in the ablation benches.
+    pub fn memory_bytes_exact(&self) -> usize {
+        (self.num_edges() + self.num_nodes() + 1) * std::mem::size_of::<u32>()
+    }
+
+    /// Iterates over `(node, neighbor)` edge pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(v, list)| list.iter().map(move |&u| (v as u32, u)))
+    }
+
+    /// Consumes the graph, returning the adjacency lists.
+    pub fn into_adjacency(self) -> Vec<Vec<u32>> {
+        self.adjacency
+    }
+
+    /// Returns the reverse graph (every edge flipped).
+    pub fn reversed(&self) -> DirectedGraph {
+        let mut rev = vec![Vec::new(); self.num_nodes()];
+        for (v, u) in self.edges() {
+            rev[u as usize].push(v);
+        }
+        DirectedGraph { adjacency: rev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_deduplicates() {
+        let mut g = DirectedGraph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_checks_bounds() {
+        let mut g = DirectedGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn from_adjacency_checks_bounds() {
+        let _ = DirectedGraph::from_adjacency(vec![vec![3]]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1, 2], vec![0], vec![]]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!((g.average_out_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    fn fixed_degree_memory_model() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1, 2], vec![0], vec![]]);
+        // width = 2, 3 nodes, (2+1) u32 each.
+        assert_eq!(g.memory_bytes_fixed_degree(), 3 * 3 * 4);
+        assert_eq!(g.memory_bytes_exact(), (3 + 3 + 1) * 4);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1], vec![2], vec![]]);
+        let r = g.reversed();
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(2), &[1]);
+        assert!(r.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn set_neighbors_replaces_list() {
+        let mut g = DirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.set_neighbors(0, vec![2, 3]);
+        assert_eq!(g.neighbors(0), &[2, 3]);
+    }
+
+    #[test]
+    fn edges_iterator_lists_all_pairs() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1], vec![0, 2], vec![]]);
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+}

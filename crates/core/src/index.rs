@@ -1,0 +1,77 @@
+//! The common index interface every ANNS method in the workspace implements.
+//!
+//! The paper's evaluation sweeps one "effort" knob per algorithm (candidate
+//! pool size for graph methods, probe count for LSH/IVFPQ, leaf checks for
+//! KD-trees) and reports precision versus cost. [`SearchQuality`] is that
+//! knob, and [`AnnIndex`] is the interface the evaluation harness drives.
+
+/// The per-query effort knob swept by the QPS-vs-precision experiments.
+///
+/// For graph-based methods this is the candidate pool size `l` of Algorithm 1;
+/// for IVF-PQ it is the number of probed inverted lists; for LSH the number of
+/// probed buckets; for KD-tree forests the number of leaves checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchQuality {
+    /// Generic effort value; each index interprets it as documented above.
+    pub effort: usize,
+}
+
+impl SearchQuality {
+    /// Creates an effort level (clamped to at least 1).
+    pub fn new(effort: usize) -> Self {
+        Self { effort: effort.max(1) }
+    }
+}
+
+impl Default for SearchQuality {
+    fn default() -> Self {
+        Self { effort: 100 }
+    }
+}
+
+/// A built approximate-nearest-neighbor index that can answer k-NN queries.
+pub trait AnnIndex: Send + Sync {
+    /// Returns the ids of (approximately) the `k` nearest base vectors to
+    /// `query`, best first.
+    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32>;
+
+    /// Estimated resident memory of the index structure in bytes, excluding
+    /// the raw vectors (the paper's Table 2 reports graph memory separately
+    /// from the data).
+    fn memory_bytes(&self) -> usize;
+
+    /// Human-readable algorithm name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl AnnIndex for Dummy {
+        fn search(&self, _query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+            (0..k.min(quality.effort) as u32).collect()
+        }
+        fn memory_bytes(&self) -> usize {
+            42
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+    }
+
+    #[test]
+    fn quality_clamps_to_one() {
+        assert_eq!(SearchQuality::new(0).effort, 1);
+        assert_eq!(SearchQuality::default().effort, 100);
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let b: Box<dyn AnnIndex> = Box::new(Dummy);
+        assert_eq!(b.search(&[0.0], 3, SearchQuality::new(10)), vec![0, 1, 2]);
+        assert_eq!(b.memory_bytes(), 42);
+        assert_eq!(b.name(), "dummy");
+    }
+}

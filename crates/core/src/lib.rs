@@ -1,0 +1,22 @@
+//! Core contribution of the paper: the Monotonic Relative Neighborhood Graph
+//! (MRNG) and its practical approximation, the Navigating Spreading-out Graph
+//! (NSG), together with the shared greedy search routine (Algorithm 1), graph
+//! analytics, serialization and sharded (distributed-style) search.
+
+pub mod graph;
+pub mod index;
+pub mod mrng;
+pub mod neighbor;
+pub mod nsg;
+pub mod search;
+pub mod serialize;
+pub mod sharded;
+pub mod stats;
+
+pub use graph::DirectedGraph;
+pub use index::{AnnIndex, SearchQuality};
+pub use mrng::{build_mrng, build_rng_graph, MrngParams};
+pub use neighbor::{CandidatePool, Neighbor};
+pub use nsg::{NsgIndex, NsgParams};
+pub use search::{search_on_graph, SearchParams, SearchResult, SearchStats};
+pub use sharded::ShardedNsg;

@@ -1,0 +1,217 @@
+//! The candidate pool of Algorithm 1.
+//!
+//! The search-on-graph routine keeps a pool `S` of at most `l` candidates
+//! sorted by ascending distance to the query, repeatedly expands the first
+//! unchecked candidate, and terminates when every candidate in the pool has
+//! been checked. [`CandidatePool`] implements exactly that data structure with
+//! the sorted-insertion scheme the released NSG code uses.
+
+/// One entry of the candidate pool: a node id, its distance to the query, and
+/// whether its neighbors have already been expanded ("checked" in the paper's
+/// Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Node id.
+    pub id: u32,
+    /// Distance from the query to this node.
+    pub dist: f32,
+    /// Whether Algorithm 1 has already expanded this node's out-edges.
+    pub checked: bool,
+}
+
+impl Neighbor {
+    /// Creates an unchecked pool entry.
+    pub fn new(id: u32, dist: f32) -> Self {
+        Self { id, dist, checked: false }
+    }
+}
+
+/// Fixed-capacity pool of the best `l` candidates seen so far, sorted by
+/// ascending distance (ties broken by id so the order is deterministic).
+#[derive(Debug, Clone)]
+pub struct CandidatePool {
+    entries: Vec<Neighbor>,
+    capacity: usize,
+}
+
+impl CandidatePool {
+    /// Creates an empty pool with capacity `l`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "candidate pool capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity + 1),
+            capacity,
+        }
+    }
+
+    /// Pool capacity `l`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The candidates in ascending distance order.
+    pub fn entries(&self) -> &[Neighbor] {
+        &self.entries
+    }
+
+    /// Inserts a candidate. Returns `true` when the candidate entered the pool
+    /// (it was better than the current worst or the pool was not full) and was
+    /// not already present.
+    pub fn insert(&mut self, id: u32, dist: f32) -> bool {
+        if self.entries.len() >= self.capacity {
+            let worst = self.entries.last().expect("full pool is non-empty");
+            if dist > worst.dist || (dist == worst.dist && id >= worst.id) {
+                return false;
+            }
+        }
+        let pos = self
+            .entries
+            .partition_point(|e| e.dist < dist || (e.dist == dist && e.id < id));
+        // Reject duplicates (the same node reached through different edges).
+        if pos < self.entries.len() && self.entries[pos].id == id && self.entries[pos].dist == dist {
+            return false;
+        }
+        if self.entries.iter().any(|e| e.id == id) {
+            return false;
+        }
+        self.entries.insert(pos, Neighbor::new(id, dist));
+        if self.entries.len() > self.capacity {
+            self.entries.pop();
+        }
+        true
+    }
+
+    /// Index of the first unchecked candidate, if any. This is line 4 of
+    /// Algorithm 1 ("the index of the first unchecked node in S").
+    pub fn first_unchecked(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.checked)
+    }
+
+    /// Marks candidate `index` as checked and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn mark_checked(&mut self, index: usize) -> u32 {
+        self.entries[index].checked = true;
+        self.entries[index].id
+    }
+
+    /// Ids of the first `k` candidates (the answer of Algorithm 1).
+    pub fn top_k_ids(&self, k: usize) -> Vec<u32> {
+        self.entries.iter().take(k).map(|e| e.id).collect()
+    }
+
+    /// `(id, distance)` of the first `k` candidates.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f32)> {
+        self.entries.iter().take(k).map(|e| (e.id, e.dist)).collect()
+    }
+
+    /// Clears the pool for reuse across queries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut pool = CandidatePool::new(4);
+        pool.insert(5, 3.0);
+        pool.insert(7, 1.0);
+        pool.insert(2, 2.0);
+        let dists: Vec<f32> = pool.entries().iter().map(|e| e.dist).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_worst_is_evicted() {
+        let mut pool = CandidatePool::new(2);
+        assert!(pool.insert(1, 5.0));
+        assert!(pool.insert(2, 3.0));
+        assert!(pool.insert(3, 1.0)); // evicts id 1
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.top_k_ids(2), vec![3, 2]);
+        // Worse than everything in a full pool: rejected.
+        assert!(!pool.insert(4, 9.0));
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut pool = CandidatePool::new(4);
+        assert!(pool.insert(1, 2.0));
+        assert!(!pool.insert(1, 2.0));
+        assert!(!pool.insert(1, 1.0));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn first_unchecked_walks_forward() {
+        let mut pool = CandidatePool::new(4);
+        pool.insert(1, 1.0);
+        pool.insert(2, 2.0);
+        assert_eq!(pool.first_unchecked(), Some(0));
+        assert_eq!(pool.mark_checked(0), 1);
+        assert_eq!(pool.first_unchecked(), Some(1));
+        pool.mark_checked(1);
+        assert_eq!(pool.first_unchecked(), None);
+    }
+
+    #[test]
+    fn newly_inserted_better_candidate_becomes_unchecked_head() {
+        let mut pool = CandidatePool::new(4);
+        pool.insert(1, 5.0);
+        pool.mark_checked(0);
+        // A closer candidate arrives after the head was checked: Algorithm 1
+        // must revisit it.
+        pool.insert(2, 1.0);
+        assert_eq!(pool.first_unchecked(), Some(0));
+        assert_eq!(pool.entries()[0].id, 2);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let mut pool = CandidatePool::new(4);
+        pool.insert(9, 1.0);
+        pool.insert(3, 1.0);
+        assert_eq!(pool.top_k_ids(2), vec![3, 9]);
+    }
+
+    #[test]
+    fn top_k_truncates_to_pool_size() {
+        let mut pool = CandidatePool::new(4);
+        pool.insert(1, 1.0);
+        assert_eq!(pool.top_k_ids(10), vec![1]);
+        assert_eq!(pool.top_k(10), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn clear_resets_pool() {
+        let mut pool = CandidatePool::new(2);
+        pool.insert(1, 1.0);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.first_unchecked(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = CandidatePool::new(0);
+    }
+}

@@ -1,0 +1,519 @@
+//! The Navigating Spreading-out Graph (Algorithm 2 of the paper).
+//!
+//! The NSG approximates the MRNG while keeping indexing practical:
+//!
+//! 1. build an approximate kNN graph (NN-Descent, provided by `nsg-knn`),
+//! 2. locate the **navigating node**: the approximate medoid found by
+//!    searching the kNN graph for the dataset centroid,
+//! 3. for every node `v`, run the *search-collect* routine from the navigating
+//!    node toward `v` on the kNN graph; the visited nodes plus `v`'s kNN
+//!    neighbors form the candidate set, which is pruned with the MRNG edge
+//!    selection down to at most `m` out-edges,
+//! 4. insert reverse edges under the same pruning rule (the `InterInsert` step
+//!    of the released implementation),
+//! 5. span a DFS tree from the navigating node and reconnect any node that is
+//!    unreachable by linking it to its nearest reachable neighbor found with
+//!    Algorithm 1.
+//!
+//! Search always starts from the navigating node and is plain Algorithm 1.
+
+use crate::graph::DirectedGraph;
+use crate::index::{AnnIndex, SearchQuality};
+use crate::mrng::mrng_select;
+use crate::search::{search_collect, search_on_graph, SearchParams, SearchResult, VisitedSet};
+use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Construction parameters of the NSG (the paper's `l`, `m` and the kNN-graph
+/// `k`; §4.1.4 notes the optimal values depend on the data distribution, not
+/// the scale).
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct NsgParams {
+    /// Candidate pool size `l` used by the search-collect routine during
+    /// construction (and by the connectivity-repair searches).
+    pub build_pool_size: usize,
+    /// Maximum out-degree `m` of the final graph.
+    pub max_degree: usize,
+    /// Parameters of the NN-Descent kNN-graph build (ignored when an existing
+    /// kNN graph is supplied).
+    pub knn: NnDescentParams,
+    /// Whether to add reverse edges under the pruning rule after the forward
+    /// pass (the `InterInsert` step of the released NSG code). Disabling it is
+    /// one of the ablations.
+    pub reverse_insert: bool,
+    /// Seed of the random starting node used to locate the navigating node.
+    pub seed: u64,
+}
+
+impl Default for NsgParams {
+    fn default() -> Self {
+        Self {
+            build_pool_size: 60,
+            max_degree: 40,
+            // The kNN-graph k is the dominant quality knob: the MRNG-style
+            // pruning needs a directionally diverse local candidate set, which
+            // at small k it cannot get (the reference implementation builds
+            // its kNN graphs with k in the hundreds).
+            knn: NnDescentParams { k: 50, ..NnDescentParams::default() },
+            reverse_insert: true,
+            seed: 0x4E53_4721, // "NSG!"
+        }
+    }
+}
+
+/// A built NSG index: the pruned graph, its navigating node, and the base
+/// vectors it indexes.
+pub struct NsgIndex<D> {
+    base: Arc<VectorSet>,
+    metric: D,
+    graph: DirectedGraph,
+    navigating_node: u32,
+    params: NsgParams,
+}
+
+impl<D: Distance + Sync> NsgIndex<D> {
+    /// Builds an NSG over `base`, constructing the intermediate kNN graph with
+    /// NN-Descent (`params.knn`).
+    pub fn build(base: Arc<VectorSet>, metric: D, params: NsgParams) -> Self {
+        let knn = build_nn_descent(&base, params.knn, &metric);
+        Self::build_from_knn(base, metric, &knn, params)
+    }
+
+    /// Builds an NSG from an existing approximate kNN graph (Algorithm 2).
+    ///
+    /// # Panics
+    /// Panics if the kNN graph's node count differs from `base.len()`.
+    pub fn build_from_knn(base: Arc<VectorSet>, metric: D, knn: &KnnGraph, params: NsgParams) -> Self {
+        assert_eq!(knn.len(), base.len(), "kNN graph does not match the base set");
+        let n = base.len();
+        if n == 0 {
+            return Self {
+                base,
+                metric,
+                graph: DirectedGraph::new(0),
+                navigating_node: 0,
+                params,
+            };
+        }
+        if n == 1 {
+            return Self {
+                base,
+                metric,
+                graph: DirectedGraph::new(1),
+                navigating_node: 0,
+                params,
+            };
+        }
+
+        // Convert the kNN graph into the plain adjacency Algorithm 1 traverses.
+        let knn_adjacency: Vec<Vec<u32>> = (0..n as u32).map(|v| knn.neighbor_ids(v).collect()).collect();
+        let knn_graph = DirectedGraph::from_adjacency(knn_adjacency);
+
+        // Step ii: navigating node = approximate medoid (search the kNN graph
+        // for the centroid from a random start).
+        let centroid = base.centroid();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let random_start = rng.random_range(0..n as u32);
+        let nav_params = SearchParams::new(params.build_pool_size, 1);
+        let nav_result = search_on_graph(&knn_graph, &base, &centroid, &[random_start], nav_params, &metric);
+        let navigating_node = nav_result.ids.first().copied().unwrap_or(random_start);
+
+        // Step iii: search-collect-select for every node, in parallel.
+        let m = params.max_degree.max(1);
+        let collect_params = SearchParams::new(params.build_pool_size, params.build_pool_size);
+        let selected: Vec<Vec<u32>> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let query = base.get(v);
+                let mut visited = VisitedSet::new(n);
+                let (_, mut candidates) = search_collect(
+                    &knn_graph,
+                    &base,
+                    query,
+                    &[navigating_node],
+                    collect_params,
+                    &metric,
+                    &mut visited,
+                );
+                // Add v's kNN neighbors (they carry the approximate NNG, which
+                // is essential for monotonicity — Figure 4).
+                for nb in knn.neighbors(v as u32) {
+                    candidates.push((nb.id, nb.dist));
+                }
+                candidates.retain(|&(id, _)| id as usize != v);
+                candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                candidates.dedup_by_key(|c| c.0);
+                mrng_select(&base, query, &candidates, m, &metric)
+            })
+            .collect();
+
+        // Step iii-b: reverse-edge insertion under the same pruning rule.
+        let lists: Vec<Mutex<Vec<(u32, f32)>>> = selected
+            .iter()
+            .enumerate()
+            .map(|(v, ids)| {
+                Mutex::new(
+                    ids.iter()
+                        .map(|&u| (u, metric.distance(base.get(v), base.get(u as usize))))
+                        .collect(),
+                )
+            })
+            .collect();
+        if params.reverse_insert {
+            (0..n).into_par_iter().for_each(|v| {
+                let out: Vec<u32> = lists[v].lock().iter().map(|&(id, _)| id).collect();
+                for u in out {
+                    let d_vu = metric.distance(base.get(v), base.get(u as usize));
+                    let mut target = lists[u as usize].lock();
+                    if target.iter().any(|&(id, _)| id as usize == v) {
+                        continue;
+                    }
+                    if target.len() < m {
+                        target.push((v as u32, d_vu));
+                        continue;
+                    }
+                    // The list is full: re-run the pruning over list ∪ {v} and
+                    // keep the survivors (bounded by m).
+                    let mut candidates: Vec<(u32, f32)> = target.clone();
+                    candidates.push((v as u32, d_vu));
+                    candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                    let kept = mrng_select(&base, base.get(u as usize), &candidates, m, &metric);
+                    *target = kept
+                        .into_iter()
+                        .map(|id| {
+                            let d = candidates
+                                .iter()
+                                .find(|&&(cid, _)| cid == id)
+                                .map(|&(_, d)| d)
+                                .unwrap_or_else(|| metric.distance(base.get(u as usize), base.get(id as usize)));
+                            (id, d)
+                        })
+                        .collect();
+                }
+            });
+        }
+        let mut graph = DirectedGraph::from_adjacency(
+            lists
+                .into_iter()
+                .map(|l| l.into_inner().into_iter().map(|(id, _)| id).collect())
+                .collect(),
+        );
+
+        // Step iv: DFS tree spanning from the navigating node; reconnect
+        // unreachable nodes through their nearest reachable neighbor.
+        Self::ensure_connectivity(&mut graph, &base, navigating_node, params.build_pool_size, &metric);
+
+        Self {
+            base,
+            metric,
+            graph,
+            navigating_node,
+            params,
+        }
+    }
+
+    /// Marks every node reachable from `root` in `reachable` (iterative DFS).
+    fn dfs_mark(graph: &DirectedGraph, root: u32, reachable: &mut [bool]) {
+        let mut stack = vec![root];
+        if !reachable[root as usize] {
+            reachable[root as usize] = true;
+        }
+        while let Some(v) = stack.pop() {
+            for &u in graph.neighbors(v) {
+                if !reachable[u as usize] {
+                    reachable[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+
+    /// The tree-spanning connectivity repair of Algorithm 2 (lines 24–32).
+    fn ensure_connectivity(
+        graph: &mut DirectedGraph,
+        base: &VectorSet,
+        navigating_node: u32,
+        pool_size: usize,
+        metric: &D,
+    ) {
+        let n = graph.num_nodes();
+        let mut reachable = vec![false; n];
+        Self::dfs_mark(graph, navigating_node, &mut reachable);
+        let repair_params = SearchParams::new(pool_size.max(8), pool_size.max(8));
+        let mut visited = VisitedSet::new(n);
+        for v in 0..n as u32 {
+            if reachable[v as usize] {
+                continue;
+            }
+            // Find the closest reachable node to v by searching the current
+            // graph from the navigating node (Algorithm 1 only walks reachable
+            // nodes, so everything it visits is in the tree).
+            let (result, collected) = search_collect(
+                graph,
+                base,
+                base.get(v as usize),
+                &[navigating_node],
+                repair_params,
+                metric,
+                &mut visited,
+            );
+            let attach = result
+                .ids
+                .iter()
+                .copied()
+                .chain(collected.iter().map(|&(id, _)| id))
+                .find(|&id| id != v && reachable[id as usize])
+                .unwrap_or(navigating_node);
+            graph.add_edge(attach, v);
+            // Everything newly reachable through v is now in the tree.
+            Self::dfs_mark(graph, v, &mut reachable);
+        }
+    }
+
+    /// The pruned NSG adjacency.
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+
+    /// The fixed entry point of every search.
+    pub fn navigating_node(&self) -> u32 {
+        self.navigating_node
+    }
+
+    /// The base vectors the index was built over.
+    pub fn base(&self) -> &Arc<VectorSet> {
+        &self.base
+    }
+
+    /// The parameters used at construction time.
+    pub fn params(&self) -> &NsgParams {
+        &self.params
+    }
+
+    /// The metric used by the index.
+    pub fn metric(&self) -> &D {
+        &self.metric
+    }
+
+    /// Full Algorithm 1 search returning distances and instrumentation
+    /// (used by the distance-computation and path-length experiments).
+    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
+        search_on_graph(
+            &self.graph,
+            &self.base,
+            query,
+            &[self.navigating_node],
+            SearchParams::new(pool_size, k),
+            &self.metric,
+        )
+    }
+
+    /// Reassembles an index from its serialized parts (see
+    /// [`crate::serialize`]).
+    pub fn from_parts(
+        base: Arc<VectorSet>,
+        metric: D,
+        graph: DirectedGraph,
+        navigating_node: u32,
+        params: NsgParams,
+    ) -> Self {
+        assert_eq!(graph.num_nodes(), base.len(), "graph does not match the base set");
+        assert!(
+            base.is_empty() || (navigating_node as usize) < base.len(),
+            "navigating node out of range"
+        );
+        Self {
+            base,
+            metric,
+            graph,
+            navigating_node,
+            params,
+        }
+    }
+}
+
+impl<D: Distance + Sync> AnnIndex for NsgIndex<D> {
+    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+        self.search_with_stats(query, k, quality.effort).ids
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes_fixed_degree() + std::mem::size_of::<u32>()
+    }
+
+    fn name(&self) -> &'static str {
+        "NSG"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use nsg_knn::build_exact_knn_graph;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::ground_truth::exact_knn;
+    use nsg_vectors::metrics::mean_precision;
+    use nsg_vectors::synthetic::{sift_like, uniform};
+
+    fn small_params() -> NsgParams {
+        NsgParams {
+            build_pool_size: 40,
+            max_degree: 24,
+            knn: NnDescentParams { k: 40, ..Default::default() },
+            reverse_insert: true,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn nsg_search_reaches_high_precision_on_uniform_data() {
+        let base = Arc::new(uniform(2000, 16, 3));
+        let queries = uniform(50, 16, 99);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(100)))
+            .collect();
+        let precision = mean_precision(&results, &gt, 10);
+        assert!(precision > 0.9, "NSG precision too low: {precision}");
+    }
+
+    #[test]
+    fn nsg_search_reaches_high_precision_on_clustered_data() {
+        let (base, queries) =
+            nsg_vectors::synthetic::base_and_queries(nsg_vectors::synthetic::SyntheticKind::SiftLike, 2000, 30, 5);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(120)))
+            .collect();
+        let precision = mean_precision(&results, &gt, 10);
+        assert!(precision > 0.85, "NSG precision too low on clustered data: {precision}");
+    }
+
+    #[test]
+    fn degree_cap_is_respected_up_to_connectivity_repair() {
+        let base = Arc::new(uniform(1500, 8, 7));
+        let params = small_params();
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, params);
+        // The tree-spanning step may add a handful of extra edges, but the
+        // graph must stay close to the cap and far below the kNN degree.
+        assert!(index.graph().max_out_degree() <= params.max_degree + 4);
+        assert!(index.graph().average_out_degree() <= params.max_degree as f64);
+    }
+
+    #[test]
+    fn every_node_is_reachable_from_the_navigating_node() {
+        let base = Arc::new(sift_like(1200, 11));
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let reachable = stats::reachable_count(index.graph(), index.navigating_node());
+        assert_eq!(reachable, base.len(), "connectivity repair failed");
+    }
+
+    #[test]
+    fn build_from_exact_knn_graph_matches_quality() {
+        let base = Arc::new(uniform(800, 8, 13));
+        let knn = build_exact_knn_graph(&base, 12, &SquaredEuclidean);
+        let index =
+            NsgIndex::build_from_knn(Arc::clone(&base), SquaredEuclidean, &knn, small_params());
+        let queries = uniform(20, 8, 14);
+        let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 5, SearchQuality::new(80)))
+            .collect();
+        assert!(mean_precision(&results, &gt, 5) > 0.9);
+    }
+
+    #[test]
+    fn query_equal_to_base_vector_returns_it() {
+        let base = Arc::new(uniform(600, 8, 21));
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let mut hits = 0;
+        for v in (0..base.len()).step_by(40) {
+            let got = index.search(base.get(v), 1, SearchQuality::new(60));
+            if got == vec![v as u32] {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 13, "only {hits}/15 self-queries found");
+    }
+
+    #[test]
+    fn tiny_and_degenerate_inputs_build() {
+        let empty = Arc::new(VectorSet::new(4));
+        let idx = NsgIndex::build(empty, SquaredEuclidean, small_params());
+        assert!(idx.search(&[0.0; 4], 3, SearchQuality::default()).is_empty());
+
+        let single = Arc::new(uniform(1, 4, 1));
+        let idx1 = NsgIndex::build(Arc::clone(&single), SquaredEuclidean, small_params());
+        assert_eq!(idx1.search(single.get(0), 1, SearchQuality::default()), vec![0]);
+
+        let few = Arc::new(uniform(5, 4, 2));
+        let idx5 = NsgIndex::build(Arc::clone(&few), SquaredEuclidean, small_params());
+        let res = idx5.search(few.get(2), 3, SearchQuality::default());
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0], 2);
+    }
+
+    #[test]
+    fn navigating_node_is_near_the_centroid() {
+        let base = Arc::new(uniform(1000, 6, 31));
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let centroid = base.centroid();
+        let (true_medoid, _) =
+            nsg_vectors::ground_truth::exact_knn_single(&base, &centroid, 20, &SquaredEuclidean);
+        assert!(
+            true_medoid.contains(&index.navigating_node()),
+            "navigating node {} not among the 20 nodes closest to the centroid",
+            index.navigating_node()
+        );
+    }
+
+    #[test]
+    fn larger_pool_size_does_not_reduce_precision() {
+        let base = Arc::new(uniform(1500, 12, 41));
+        let queries = uniform(30, 12, 42);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let p_small: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(10)))
+            .collect();
+        let p_large: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+            .collect();
+        let small = mean_precision(&p_small, &gt, 10);
+        let large = mean_precision(&p_large, &gt, 10);
+        assert!(large + 1e-9 >= small, "precision dropped with a larger pool: {small} -> {large}");
+        assert!(large > 0.9);
+    }
+
+    #[test]
+    fn search_stats_report_work_done() {
+        let base = Arc::new(uniform(1000, 8, 51));
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let res = index.search_with_stats(base.get(3), 5, 50);
+        assert!(res.stats.distance_computations > 0);
+        assert!(res.stats.hops > 0);
+        assert!(res.stats.distance_computations < base.len() as u64,
+            "graph search should touch far fewer points than a serial scan");
+    }
+
+    #[test]
+    fn memory_model_matches_fixed_degree_layout() {
+        let base = Arc::new(uniform(500, 8, 61));
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let width = index.graph().max_out_degree();
+        assert_eq!(
+            index.memory_bytes(),
+            500 * (width + 1) * 4 + 4
+        );
+    }
+}

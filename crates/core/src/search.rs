@@ -1,0 +1,388 @@
+//! Algorithm 1 of the paper: greedy best-first search on a graph
+//! ("search-on-graph").
+//!
+//! Given a graph `G`, a start node `p`, a query `q` and a candidate pool size
+//! `l`, the routine repeatedly expands the first unchecked candidate in the
+//! pool, inserts its out-neighbors, and stops when every candidate has been
+//! checked. Every graph method in the paper (GNNS, KGraph, Efanna, NSW, HNSW
+//! layers, FANNG, DPG, NSG) uses this same routine; only the graph differs.
+//!
+//! Two variants are provided:
+//! * [`search_on_graph`] — the plain Algorithm 1, returning the top-k pool
+//!   prefix,
+//! * [`search_collect`] — the "search-and-collect" routine of Algorithm 2 step
+//!   iii, which additionally records every node whose distance to the query
+//!   was evaluated; those visited nodes become the candidate set for MRNG-style
+//!   edge selection during NSG construction.
+
+use crate::graph::DirectedGraph;
+use crate::neighbor::CandidatePool;
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchParams {
+    /// Candidate pool size `l`. Larger pools explore more of the graph and
+    /// raise precision at the cost of more distance computations; the paper's
+    /// QPS-vs-precision curves are produced by sweeping this value.
+    pub pool_size: usize,
+    /// Number of neighbors `k` to return.
+    pub k: usize,
+}
+
+impl SearchParams {
+    /// Creates parameters, enforcing `pool_size >= k` as Algorithm 1 requires
+    /// (the answer is the first `k` entries of an `l`-sized pool).
+    pub fn new(pool_size: usize, k: usize) -> Self {
+        Self {
+            pool_size: pool_size.max(k).max(1),
+            k,
+        }
+    }
+}
+
+/// Instrumentation collected during one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchStats {
+    /// Number of distance evaluations.
+    pub distance_computations: u64,
+    /// Number of node expansions (greedy hops), the `l` factor of the paper's
+    /// `O(o * l)` search cost model.
+    pub hops: u64,
+    /// Number of distinct nodes whose distance was evaluated.
+    pub visited: u64,
+}
+
+/// Result of one search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Ids of the returned neighbors, ascending by distance.
+    pub ids: Vec<u32>,
+    /// Distances of the returned neighbors.
+    pub distances: Vec<f32>,
+    /// Search instrumentation.
+    pub stats: SearchStats,
+}
+
+/// A reusable visited-set bitmap so repeated searches do not reallocate.
+#[derive(Debug, Clone)]
+pub struct VisitedSet {
+    marks: Vec<u64>,
+    epoch: u64,
+}
+
+impl VisitedSet {
+    /// Creates a visited set covering `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            marks: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new search; previously set marks become stale in O(1).
+    pub fn next_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Marks `id` visited; returns `true` if it was not visited in this epoch.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let slot = &mut self.marks[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `id` has been visited in this epoch.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.marks[id as usize] == self.epoch
+    }
+}
+
+fn run_search<D: Distance + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    query: &[f32],
+    start_nodes: &[u32],
+    params: SearchParams,
+    metric: &D,
+    visited: &mut VisitedSet,
+    mut collect: Option<&mut Vec<(u32, f32)>>,
+) -> (CandidatePool, SearchStats) {
+    let mut pool = CandidatePool::new(params.pool_size);
+    let mut stats = SearchStats::default();
+    visited.next_epoch();
+
+    for &s in start_nodes {
+        if (s as usize) < base.len() && visited.insert(s) {
+            let d = metric.distance(query, base.get(s as usize));
+            stats.distance_computations += 1;
+            stats.visited += 1;
+            if let Some(out) = collect.as_deref_mut() {
+                out.push((s, d));
+            }
+            pool.insert(s, d);
+        }
+    }
+
+    // Algorithm 1 main loop: expand the first unchecked candidate until the
+    // pool is fully checked.
+    while let Some(idx) = pool.first_unchecked() {
+        let current = pool.mark_checked(idx);
+        stats.hops += 1;
+        for &n in graph.neighbors(current) {
+            if !visited.insert(n) {
+                continue;
+            }
+            let d = metric.distance(query, base.get(n as usize));
+            stats.distance_computations += 1;
+            stats.visited += 1;
+            if let Some(out) = collect.as_deref_mut() {
+                out.push((n, d));
+            }
+            pool.insert(n, d);
+        }
+    }
+    (pool, stats)
+}
+
+/// Algorithm 1: greedy best-first search on `graph` starting from
+/// `start_nodes`, returning the `k` best candidates found.
+///
+/// `start_nodes` is usually a single node (the NSG navigating node, the HNSW
+/// layer entry, or a random node for KGraph/FANNG/DPG), but may contain
+/// several entry points (Efanna seeds the pool from KD-tree leaves).
+pub fn search_on_graph<D: Distance + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    query: &[f32],
+    start_nodes: &[u32],
+    params: SearchParams,
+    metric: &D,
+) -> SearchResult {
+    let mut visited = VisitedSet::new(base.len());
+    search_on_graph_with(graph, base, query, start_nodes, params, metric, &mut visited)
+}
+
+/// Same as [`search_on_graph`] but reuses a caller-provided [`VisitedSet`],
+/// avoiding an O(n) allocation per query in the benchmark loops.
+pub fn search_on_graph_with<D: Distance + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    query: &[f32],
+    start_nodes: &[u32],
+    params: SearchParams,
+    metric: &D,
+    visited: &mut VisitedSet,
+) -> SearchResult {
+    let (pool, stats) = run_search(graph, base, query, start_nodes, params, metric, visited, None);
+    let top = pool.top_k(params.k);
+    SearchResult {
+        ids: top.iter().map(|&(id, _)| id).collect(),
+        distances: top.iter().map(|&(_, d)| d).collect(),
+        stats,
+    }
+}
+
+/// The "search-and-collect" routine of Algorithm 2: runs Algorithm 1 and also
+/// returns every `(node, distance)` pair whose distance to the query was
+/// computed along the way. These visited nodes are the candidate neighbors the
+/// NSG edge-selection prunes with the MRNG strategy.
+pub fn search_collect<D: Distance + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    query: &[f32],
+    start_nodes: &[u32],
+    params: SearchParams,
+    metric: &D,
+    visited: &mut VisitedSet,
+) -> (SearchResult, Vec<(u32, f32)>) {
+    let mut collected = Vec::with_capacity(params.pool_size * 4);
+    let (pool, stats) = run_search(
+        graph,
+        base,
+        query,
+        start_nodes,
+        params,
+        metric,
+        visited,
+        Some(&mut collected),
+    );
+    let top = pool.top_k(params.k);
+    (
+        SearchResult {
+            ids: top.iter().map(|&(id, _)| id).collect(),
+            distances: top.iter().map(|&(_, d)| d).collect(),
+            stats,
+        },
+        collected,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::synthetic::uniform;
+    use nsg_vectors::VectorSet;
+
+    /// A line of points 0..n where node i is connected to i-1 and i+1: search
+    /// must walk monotonically toward the query.
+    fn line_graph(n: usize) -> (DirectedGraph, VectorSet) {
+        let base = VectorSet::from_rows(1, &(0..n).map(|i| [i as f32]).collect::<Vec<_>>());
+        let mut g = DirectedGraph::new(n);
+        for i in 0..n {
+            if i > 0 {
+                g.add_edge(i as u32, (i - 1) as u32);
+            }
+            if i + 1 < n {
+                g.add_edge(i as u32, (i + 1) as u32);
+            }
+        }
+        (g, base)
+    }
+
+    #[test]
+    fn walks_a_line_to_the_query() {
+        let (g, base) = line_graph(50);
+        let res = search_on_graph(&g, &base, &[37.2], &[0], SearchParams::new(8, 3), &SquaredEuclidean);
+        assert_eq!(res.ids[0], 37);
+        assert_eq!(res.ids.len(), 3);
+        assert!(res.distances.windows(2).all(|w| w[0] <= w[1]));
+        assert!(res.stats.hops >= 37, "must hop along the whole line");
+    }
+
+    #[test]
+    fn pool_size_one_is_pure_greedy_descent() {
+        let (g, base) = line_graph(20);
+        let res = search_on_graph(&g, &base, &[10.1], &[0], SearchParams::new(1, 1), &SquaredEuclidean);
+        assert_eq!(res.ids, vec![10]);
+    }
+
+    #[test]
+    fn start_node_equal_to_answer_terminates() {
+        let (g, base) = line_graph(10);
+        let res = search_on_graph(&g, &base, &[4.0], &[4], SearchParams::new(4, 1), &SquaredEuclidean);
+        assert_eq!(res.ids, vec![4]);
+        assert_eq!(res.distances[0], 0.0);
+    }
+
+    #[test]
+    fn multiple_start_nodes_seed_the_pool() {
+        let (g, base) = line_graph(30);
+        let res = search_on_graph(
+            &g,
+            &base,
+            &[29.0],
+            &[0, 28],
+            SearchParams::new(4, 1),
+            &SquaredEuclidean,
+        );
+        assert_eq!(res.ids, vec![29]);
+        // Starting next to the target requires far fewer hops than the line length.
+        assert!(res.stats.hops < 10);
+    }
+
+    #[test]
+    fn disconnected_target_is_not_found_but_search_terminates() {
+        // Two disjoint components: 0-1-2 and 3-4. Query sits on node 4.
+        let base = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0], [10.0], [11.0]]);
+        let mut g = DirectedGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(3, 4);
+        g.add_edge(4, 3);
+        let res = search_on_graph(&g, &base, &[11.0], &[0], SearchParams::new(4, 1), &SquaredEuclidean);
+        // Only the first component is reachable, so the best answer is node 2.
+        assert_eq!(res.ids, vec![2]);
+    }
+
+    #[test]
+    fn stats_count_visits_and_distances_consistently() {
+        let base = uniform(500, 8, 3);
+        let g = {
+            // kNN-style random graph with 8 out-edges per node.
+            let mut g = DirectedGraph::new(500);
+            let mut state = 12345u64;
+            for v in 0..500u32 {
+                for _ in 0..8 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let u = (state >> 33) as u32 % 500;
+                    if u != v {
+                        g.add_edge(v, u);
+                    }
+                }
+            }
+            g
+        };
+        let res = search_on_graph(&g, &base, base.get(17), &[0], SearchParams::new(20, 5), &SquaredEuclidean);
+        assert_eq!(res.stats.distance_computations, res.stats.visited);
+        assert!(res.stats.visited <= 500);
+        assert!(!res.ids.is_empty());
+    }
+
+    #[test]
+    fn search_collect_returns_every_evaluated_node() {
+        let (g, base) = line_graph(40);
+        let mut visited = VisitedSet::new(base.len());
+        let (res, collected) = search_collect(
+            &g,
+            &base,
+            &[25.0],
+            &[0],
+            SearchParams::new(6, 2),
+            &SquaredEuclidean,
+            &mut visited,
+        );
+        assert_eq!(collected.len() as u64, res.stats.visited);
+        // The answer must be among the collected nodes.
+        assert!(collected.iter().any(|&(id, _)| id == res.ids[0]));
+        // No duplicates.
+        let mut ids: Vec<u32> = collected.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), collected.len());
+    }
+
+    #[test]
+    fn visited_set_epochs_reset_in_constant_time() {
+        let mut v = VisitedSet::new(10);
+        v.next_epoch();
+        assert!(v.insert(3));
+        assert!(!v.insert(3));
+        assert!(v.contains(3));
+        v.next_epoch();
+        assert!(!v.contains(3));
+        assert!(v.insert(3));
+    }
+
+    #[test]
+    fn out_of_range_start_nodes_are_ignored() {
+        let (g, base) = line_graph(5);
+        let res = search_on_graph(
+            &g,
+            &base,
+            &[2.0],
+            &[99, 0],
+            SearchParams::new(3, 1),
+            &SquaredEuclidean,
+        );
+        assert_eq!(res.ids, vec![2]);
+    }
+
+    #[test]
+    fn params_enforce_pool_at_least_k() {
+        let p = SearchParams::new(2, 10);
+        assert_eq!(p.pool_size, 10);
+        let p2 = SearchParams::new(0, 0);
+        assert_eq!(p2.pool_size, 1);
+    }
+}

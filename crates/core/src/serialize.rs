@@ -1,0 +1,207 @@
+//! Compact binary serialization of an NSG index.
+//!
+//! The layout mirrors the file format of the released NSG implementation so
+//! index sizes are directly comparable to the paper's Table 2: a small header
+//! (magic, navigating node, node count) followed by one record per node
+//! consisting of a `u32` degree and that many `u32` neighbor ids, all
+//! little-endian.
+
+use crate::graph::DirectedGraph;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic number identifying the serialized format ("NSG1").
+const MAGIC: u32 = 0x4E53_4731;
+
+/// Errors returned by the index (de)serialization routines.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The byte stream is not a valid serialized NSG graph.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Serializes a graph and its navigating node into a compact byte buffer.
+pub fn graph_to_bytes(graph: &DirectedGraph, navigating_node: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + graph.num_edges() * 4 + graph.num_nodes() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(navigating_node);
+    buf.put_u32_le(graph.num_nodes() as u32);
+    for v in 0..graph.num_nodes() as u32 {
+        let neighbors = graph.neighbors(v);
+        buf.put_u32_le(neighbors.len() as u32);
+        for &u in neighbors {
+            buf.put_u32_le(u);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph produced by [`graph_to_bytes`], returning the graph
+/// and the navigating node.
+pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(DirectedGraph, u32), SerializeError> {
+    if bytes.remaining() < 12 {
+        return Err(SerializeError::Corrupt("truncated header".into()));
+    }
+    let magic = bytes.get_u32_le();
+    if magic != MAGIC {
+        return Err(SerializeError::Corrupt(format!("bad magic 0x{magic:08x}")));
+    }
+    let navigating_node = bytes.get_u32_le();
+    let n = bytes.get_u32_le() as usize;
+    let mut adjacency = Vec::with_capacity(n);
+    for v in 0..n {
+        if bytes.remaining() < 4 {
+            return Err(SerializeError::Corrupt(format!("truncated degree of node {v}")));
+        }
+        let degree = bytes.get_u32_le() as usize;
+        if bytes.remaining() < degree * 4 {
+            return Err(SerializeError::Corrupt(format!("truncated neighbor list of node {v}")));
+        }
+        let mut list = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let u = bytes.get_u32_le();
+            if u as usize >= n {
+                return Err(SerializeError::Corrupt(format!("edge {v} -> {u} out of range")));
+            }
+            list.push(u);
+        }
+        adjacency.push(list);
+    }
+    if n > 0 && navigating_node as usize >= n {
+        return Err(SerializeError::Corrupt("navigating node out of range".into()));
+    }
+    Ok((DirectedGraph::from_adjacency(adjacency), navigating_node))
+}
+
+/// Writes the serialized graph to a file.
+pub fn save_graph<P: AsRef<Path>>(
+    path: P,
+    graph: &DirectedGraph,
+    navigating_node: u32,
+) -> Result<(), SerializeError> {
+    let bytes = graph_to_bytes(graph, navigating_node);
+    let mut file = File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a serialized graph from a file.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<(DirectedGraph, u32), SerializeError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    graph_from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_graph() -> DirectedGraph {
+        DirectedGraph::from_adjacency(vec![vec![1, 2], vec![2], vec![], vec![0, 1, 2]])
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let g = toy_graph();
+        let bytes = graph_to_bytes(&g, 3);
+        let (back, nav) = graph_from_bytes(&bytes).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(nav, 3);
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let g = toy_graph();
+        let dir = std::env::temp_dir().join(format!("nsg_ser_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.nsg");
+        save_graph(&path, &g, 1).unwrap();
+        let (back, nav) = load_graph(&path).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(nav, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = DirectedGraph::new(0);
+        let bytes = graph_to_bytes(&g, 0);
+        let (back, _) = graph_from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = graph_to_bytes(&toy_graph(), 0).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(graph_from_bytes(&bytes), Err(SerializeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let bytes = graph_to_bytes(&toy_graph(), 0);
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(
+                graph_from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} bytes not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_edges_are_rejected() {
+        // Hand-craft a stream whose single node points at node 7.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_u32_le(7);
+        assert!(matches!(
+            graph_from_bytes(&buf.freeze()),
+            Err(SerializeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_navigating_node_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(9); // navigating node
+        buf.put_u32_le(1); // one node
+        buf.put_u32_le(0); // degree 0
+        assert!(matches!(
+            graph_from_bytes(&buf.freeze()),
+            Err(SerializeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn serialized_size_matches_fixed_structure() {
+        let g = toy_graph();
+        let bytes = graph_to_bytes(&g, 0);
+        // header 12 bytes + 4 degree words + 6 edge words.
+        assert_eq!(bytes.len(), 12 + 4 * 4 + 6 * 4);
+    }
+}

@@ -1,0 +1,294 @@
+//! Graph analytics used by Tables 2 and 4 of the paper: out-degree
+//! statistics, the fraction of nodes linked to their exact nearest neighbor
+//! (NN%), strongly connected components, and reachability from a fixed entry
+//! point.
+
+use crate::graph::DirectedGraph;
+use nsg_knn::KnnGraph;
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use rayon::prelude::*;
+
+/// The per-index statistics reported in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GraphIndexStats {
+    /// Index memory in bytes under the fixed-degree layout.
+    pub memory_bytes: usize,
+    /// Average out-degree (AOD).
+    pub average_out_degree: f64,
+    /// Maximum out-degree (MOD).
+    pub max_out_degree: usize,
+    /// Percentage of nodes whose exact nearest neighbor appears in their
+    /// out-neighbor list (the NN(%) column).
+    pub nn_percentage: f64,
+}
+
+/// Computes the Table 2 statistics of `graph` over `base`.
+///
+/// The NN% column requires each node's exact nearest neighbor; it is computed
+/// with a brute-force scan per node (rayon-parallel), so this is intended for
+/// the analysis-scale datasets of the reproduction.
+pub fn graph_index_stats<D: Distance + Sync + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    metric: &D,
+) -> GraphIndexStats {
+    GraphIndexStats {
+        memory_bytes: graph.memory_bytes_fixed_degree(),
+        average_out_degree: graph.average_out_degree(),
+        max_out_degree: graph.max_out_degree(),
+        nn_percentage: nn_percentage(graph, base, metric),
+    }
+}
+
+/// Percentage (0–100) of nodes whose exact nearest neighbor is among their
+/// out-neighbors.
+pub fn nn_percentage<D: Distance + Sync + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    metric: &D,
+) -> f64 {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return 100.0;
+    }
+    let hits: usize = (0..n)
+        .into_par_iter()
+        .filter(|&v| {
+            let vq = base.get(v);
+            let mut best = u32::MAX;
+            let mut best_dist = f32::INFINITY;
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                let d = metric.distance(vq, base.get(u));
+                if d < best_dist || (d == best_dist && (u as u32) < best) {
+                    best_dist = d;
+                    best = u as u32;
+                }
+            }
+            graph.neighbors(v as u32).contains(&best)
+        })
+        .count();
+    100.0 * hits as f64 / n as f64
+}
+
+/// Same NN% computation but against a precomputed exact kNN graph (avoids the
+/// quadratic scan when one is already available).
+pub fn nn_percentage_from_exact(graph: &DirectedGraph, exact: &KnnGraph) -> f64 {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 100.0;
+    }
+    assert_eq!(n, exact.len(), "graphs cover different node sets");
+    let hits = (0..n as u32)
+        .filter(|&v| match exact.nearest(v) {
+            Some(nn) => graph.neighbors(v).contains(&nn.id),
+            None => true,
+        })
+        .count();
+    100.0 * hits as f64 / n as f64
+}
+
+/// Number of nodes reachable from `root` by directed edges (including `root`
+/// itself). Table 4 records the NSG / HNSW connectivity as "1 SCC" when every
+/// node is reachable from the fixed entry point.
+pub fn reachable_count(graph: &DirectedGraph, root: u32) -> usize {
+    if graph.is_empty() {
+        return 0;
+    }
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut stack = vec![root];
+    seen[root as usize] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &u in graph.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                count += 1;
+                stack.push(u);
+            }
+        }
+    }
+    count
+}
+
+/// Number of strongly connected components of the directed graph (iterative
+/// Tarjan). This is the SCC column of Table 4 for the methods whose search
+/// starts from a random node.
+pub fn strongly_connected_components(graph: &DirectedGraph) -> usize {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0;
+    }
+    const UNVISITED: u32 = u32::MAX;
+    let mut index_of = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut scc_count = 0usize;
+
+    // Iterative Tarjan with an explicit call frame: (node, neighbor cursor).
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index_of[start as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        while let Some(&mut (v, ref mut cursor)) = call_stack.last_mut() {
+            if *cursor == 0 {
+                index_of[v as usize] = next_index;
+                low[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let neighbors = graph.neighbors(v);
+            if *cursor < neighbors.len() {
+                let u = neighbors[*cursor];
+                *cursor += 1;
+                if index_of[u as usize] == UNVISITED {
+                    call_stack.push((u, 0));
+                } else if on_stack[u as usize] {
+                    low[v as usize] = low[v as usize].min(index_of[u as usize]);
+                }
+            } else {
+                // All neighbors processed: close the frame.
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index_of[v as usize] {
+                    scc_count += 1;
+                    while let Some(w) = stack.pop() {
+                        on_stack[w as usize] = false;
+                        if w == v {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    scc_count
+}
+
+/// The connectivity summary of Table 4: for fixed-entry methods (NSG, HNSW)
+/// the paper records 1 when every node is reachable from the entry point; for
+/// the others it records the number of SCCs.
+pub fn connectivity_metric(graph: &DirectedGraph, fixed_entry: Option<u32>) -> usize {
+    match fixed_entry {
+        Some(root) if !graph.is_empty() => {
+            if reachable_count(graph, root) == graph.num_nodes() {
+                1
+            } else {
+                // Count unreachable "components" coarsely: 1 (the reachable
+                // tree) + number of SCCs among unreachable nodes would be
+                // exact; the paper only cares whether it is 1, so report the
+                // SCC count of the whole graph.
+                strongly_connected_components(graph).max(2)
+            }
+        }
+        _ => strongly_connected_components(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::synthetic::uniform;
+    use nsg_vectors::VectorSet;
+
+    #[test]
+    fn scc_of_a_cycle_is_one() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1], vec![2], vec![0]]);
+        assert_eq!(strongly_connected_components(&g), 1);
+    }
+
+    #[test]
+    fn scc_of_a_chain_is_n() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1], vec![2], vec![]]);
+        assert_eq!(strongly_connected_components(&g), 3);
+    }
+
+    #[test]
+    fn scc_of_two_cycles_is_two() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1], vec![0], vec![3], vec![2]]);
+        assert_eq!(strongly_connected_components(&g), 2);
+    }
+
+    #[test]
+    fn scc_handles_self_loops_and_isolated_nodes() {
+        let g = DirectedGraph::from_adjacency(vec![vec![0], vec![], vec![1]]);
+        assert_eq!(strongly_connected_components(&g), 3);
+    }
+
+    #[test]
+    fn scc_on_larger_random_strongly_connected_graph() {
+        // A ring plus random chords is strongly connected by construction.
+        let n = 200;
+        let mut adjacency = vec![Vec::new(); n];
+        for v in 0..n {
+            adjacency[v].push(((v + 1) % n) as u32);
+            adjacency[v].push(((v * 7 + 3) % n) as u32);
+        }
+        let g = DirectedGraph::from_adjacency(adjacency);
+        assert_eq!(strongly_connected_components(&g), 1);
+    }
+
+    #[test]
+    fn reachability_from_root() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1, 2], vec![], vec![1], vec![0]]);
+        assert_eq!(reachable_count(&g, 0), 3); // node 3 unreachable
+        assert_eq!(reachable_count(&g, 3), 4);
+    }
+
+    #[test]
+    fn connectivity_metric_for_fixed_entry() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1, 2], vec![], vec![]]);
+        assert_eq!(connectivity_metric(&g, Some(0)), 1);
+        assert!(connectivity_metric(&g, Some(1)) >= 2);
+        assert_eq!(connectivity_metric(&g, None), 3);
+    }
+
+    #[test]
+    fn nn_percentage_on_a_line_graph() {
+        // Nodes on a line, each linked to the next node only: node i's nearest
+        // neighbor is i+1 or i-1 (distance 1 either way, tie broken toward the
+        // smaller id), so the first node always hits and the rest hit only if
+        // the tie-break picks the forward neighbor.
+        let base = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0], [3.0]]);
+        let forward = DirectedGraph::from_adjacency(vec![vec![1], vec![2], vec![3], vec![]]);
+        let pct = nn_percentage(&forward, &base, &SquaredEuclidean);
+        // Nearest neighbor of node 0 is 1 (hit); of 1 is 0 (miss, edge goes to 2);
+        // of 2 is 1 (miss); of 3 is 2 (miss).
+        assert!((pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nn_percentage_matches_exact_graph_variant() {
+        let base = uniform(150, 6, 3);
+        let exact = nsg_knn::build_exact_knn_graph(&base, 5, &SquaredEuclidean);
+        // Graph whose lists are exactly the kNN lists: NN% must be 100.
+        let adjacency: Vec<Vec<u32>> = (0..150u32).map(|v| exact.neighbor_ids(v).collect()).collect();
+        let g = DirectedGraph::from_adjacency(adjacency);
+        let a = nn_percentage(&g, &base, &SquaredEuclidean);
+        let b = nn_percentage_from_exact(&g, &exact);
+        assert_eq!(a, 100.0);
+        assert_eq!(b, 100.0);
+    }
+
+    #[test]
+    fn table2_stats_are_consistent() {
+        let g = DirectedGraph::from_adjacency(vec![vec![1, 2], vec![0], vec![0]]);
+        let base = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0]]);
+        let stats = graph_index_stats(&g, &base, &SquaredEuclidean);
+        assert_eq!(stats.max_out_degree, 2);
+        assert!((stats.average_out_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.memory_bytes, 3 * 3 * 4);
+        assert!(stats.nn_percentage > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Standard experiment datasets.
+//!
+//! The paper's datasets are million-to-billion scale; the reproduction runs
+//! each experiment on a laptop-scale stand-in with the same dimensionality and
+//! a matching distributional character (see `nsg_vectors::synthetic`). The
+//! sizes below keep every experiment binary within a few minutes while being
+//! large enough for the qualitative comparisons (who wins at a given
+//! precision, how index sizes compare) to hold.
+
+use nsg_vectors::ground_truth::{exact_knn, GroundTruth};
+use nsg_vectors::distance::SquaredEuclidean;
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+use nsg_vectors::VectorSet;
+
+/// A ready-to-use experiment dataset: base vectors, held-out queries and the
+/// exact ground truth.
+pub struct ExperimentData {
+    /// Which paper dataset this stands in for.
+    pub kind: SyntheticKind,
+    /// Base vectors to index.
+    pub base: VectorSet,
+    /// Held-out query vectors.
+    pub queries: VectorSet,
+    /// Exact k-NN ground truth of the queries against the base.
+    pub ground_truth: GroundTruth,
+}
+
+/// Default base sizes of the four million-scale stand-ins (Table 1 order).
+pub const MILLION_SCALE_BASE: usize = 6000;
+/// Default query-set size for the million-scale stand-ins.
+pub const MILLION_SCALE_QUERIES: usize = 100;
+/// Default `k` of the precision measurements (the paper reports 10-NN and
+/// 100-NN precision; 10 keeps ground-truth computation cheap).
+pub const DEFAULT_K: usize = 10;
+
+/// Generates one experiment dataset with exact ground truth.
+pub fn make_dataset(kind: SyntheticKind, n_base: usize, n_query: usize, k: usize, seed: u64) -> ExperimentData {
+    let (base, queries) = base_and_queries(kind, n_base, n_query, seed);
+    let ground_truth = exact_knn(&base, &queries, k, &SquaredEuclidean);
+    ExperimentData {
+        kind,
+        base,
+        queries,
+        ground_truth,
+    }
+}
+
+/// The four million-scale datasets of Table 1 / Figure 6 at reproduction
+/// scale: SIFT-like, GIST-like, RAND-uniform and GAUSS.
+pub fn million_scale_suite(n_base: usize, n_query: usize, k: usize) -> Vec<ExperimentData> {
+    [
+        SyntheticKind::SiftLike,
+        SyntheticKind::GistLike,
+        SyntheticKind::RandUniform,
+        SyntheticKind::Gauss,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, kind)| make_dataset(kind, n_base, n_query, k, 1000 + i as u64))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_pieces_are_consistent() {
+        let d = make_dataset(SyntheticKind::SiftLike, 300, 10, 5, 3);
+        assert_eq!(d.base.len(), 300);
+        assert_eq!(d.queries.len(), 10);
+        assert_eq!(d.ground_truth.num_queries(), 10);
+        assert_eq!(d.ground_truth.k, 5);
+        assert_eq!(d.base.dim(), d.queries.dim());
+    }
+
+    #[test]
+    fn suite_covers_the_four_table1_datasets() {
+        let suite = million_scale_suite(100, 5, 3);
+        assert_eq!(suite.len(), 4);
+        let dims: Vec<usize> = suite.iter().map(|d| d.base.dim()).collect();
+        assert_eq!(dims, vec![128, 960, 128, 128]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Scaling-law fits for the complexity experiments.
+//!
+//! Figures 9–12 of the paper measure how search and indexing time grow with
+//! the data size `n` (and with `k`), then fit power laws such as
+//! `O(n^{1/d} log n^{1/d})` and report the exponent. This module provides the
+//! least-squares log-log fit used to produce those exponents from measured
+//! `(n, time)` points.
+
+/// A fitted power law `time ≈ a * n^b`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerLawFit {
+    /// Multiplicative constant `a`.
+    pub coefficient: f64,
+    /// Exponent `b`.
+    pub exponent: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ a * x^b` by linear regression in log-log space.
+///
+/// Returns `None` when fewer than two valid (positive) points are supplied.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mean_x = logs.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = logs.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in &logs {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let exponent = sxy / sxx;
+    let intercept = mean_y - exponent * mean_x;
+    let r_squared = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(PowerLawFit {
+        coefficient: intercept.exp(),
+        exponent,
+        r_squared,
+    })
+}
+
+impl PowerLawFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ a * (log x)^b`, the alternative model the paper fits for the
+/// K-scaling of Figure 11 (`O((log K)^2.7)`).
+pub fn fit_log_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 1.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y))
+        .collect();
+    fit_power_law(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_known_exponent() {
+        let points: Vec<(f64, f64)> = (1..=10).map(|i| {
+            let x = i as f64 * 1000.0;
+            (x, 3.0 * x.powf(1.3))
+        }).collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.exponent - 1.3).abs() < 1e-6);
+        assert!((fit.coefficient - 3.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn noisy_data_still_gives_a_reasonable_exponent() {
+        let points: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = i as f64 * 500.0;
+                let noise = 1.0 + 0.05 * ((i % 3) as f64 - 1.0);
+                (x, 2.0 * x.powf(0.5) * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.exponent - 0.5).abs() < 0.1, "exponent {}", fit.exponent);
+    }
+
+    #[test]
+    fn prediction_interpolates() {
+        let fit = PowerLawFit { coefficient: 2.0, exponent: 1.0, r_squared: 1.0 };
+        assert_eq!(fit.predict(10.0), 20.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(10.0, 5.0)]).is_none());
+        assert!(fit_power_law(&[(10.0, 5.0), (10.0, 6.0)]).is_none());
+        assert!(fit_power_law(&[(-1.0, 5.0), (0.0, 6.0)]).is_none());
+    }
+
+    #[test]
+    fn log_power_law_fits_logarithmic_growth() {
+        let points: Vec<(f64, f64)> = (2..=50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 4.0 * x.ln().powf(2.7))
+            })
+            .collect();
+        let fit = fit_log_power_law(&points).unwrap();
+        assert!((fit.exponent - 2.7).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+//! QPS-vs-precision sweeps.
+//!
+//! Figures 6 and 7 of the paper plot queries-per-second against precision for
+//! each algorithm; every curve is produced by sweeping that algorithm's search
+//! effort knob (candidate pool size for graph methods, probes for IVFPQ/LSH,
+//! checks for KD-trees). [`sweep_index`] runs one such sweep against any
+//! [`AnnIndex`].
+
+use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_vectors::ground_truth::GroundTruth;
+use nsg_vectors::metrics::mean_precision;
+use nsg_vectors::VectorSet;
+use std::time::Instant;
+
+/// One operating point of a QPS-vs-precision curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// Effort value (pool size / probes / checks) this point was measured at.
+    pub effort: usize,
+    /// Mean precision at k.
+    pub precision: f64,
+    /// Queries per second (single-threaded, as in the paper's search
+    /// experiments).
+    pub qps: f64,
+    /// Mean per-query latency in microseconds.
+    pub mean_latency_us: f64,
+}
+
+/// Runs the query batch at every effort level and records precision and QPS.
+///
+/// Queries run single-threaded because the paper evaluates all algorithms with
+/// a single thread (§4.1.2).
+pub fn sweep_index(
+    index: &dyn AnnIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    k: usize,
+    efforts: &[usize],
+) -> Vec<SweepPoint> {
+    assert_eq!(
+        queries.len(),
+        ground_truth.num_queries(),
+        "query batch does not match the ground truth"
+    );
+    let mut points = Vec::with_capacity(efforts.len());
+    for &effort in efforts {
+        let quality = SearchQuality::new(effort);
+        let start = Instant::now();
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), k, quality))
+            .collect();
+        let elapsed = start.elapsed();
+        let precision = mean_precision(&results, ground_truth, k);
+        let n = queries.len().max(1) as f64;
+        let secs = elapsed.as_secs_f64().max(1e-12);
+        points.push(SweepPoint {
+            effort,
+            precision,
+            qps: n / secs,
+            mean_latency_us: elapsed.as_micros() as f64 / n,
+        });
+    }
+    points
+}
+
+/// A geometric ladder of effort values, the usual sweep grid of the
+/// experiments (e.g. 10, 20, 40, ... up to `max`).
+pub fn effort_ladder(min: usize, max: usize, factor: f64) -> Vec<usize> {
+    assert!(factor > 1.0, "ladder factor must exceed 1");
+    let mut out = Vec::new();
+    let mut x = min.max(1) as f64;
+    while (x as usize) < max {
+        out.push(x as usize);
+        x *= factor;
+    }
+    out.push(max);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::{Distance, SquaredEuclidean};
+    use nsg_vectors::ground_truth::exact_knn;
+    use nsg_vectors::synthetic::uniform;
+
+    /// A fake index whose accuracy grows with effort, for harness testing.
+    struct FakeIndex {
+        base: VectorSet,
+    }
+
+    impl AnnIndex for FakeIndex {
+        fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+            // Scan only the first `effort` base vectors: precision rises with
+            // effort and reaches 1.0 when effort covers the whole base.
+            let limit = quality.effort.min(self.base.len());
+            let mut scored: Vec<(u32, f32)> = (0..limit)
+                .map(|i| (i as u32, SquaredEuclidean.distance(query, self.base.get(i))))
+                .collect();
+            scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+            scored.truncate(k);
+            scored.into_iter().map(|(id, _)| id).collect()
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+    }
+
+    #[test]
+    fn sweep_reports_monotone_precision_for_a_monotone_index() {
+        let base = uniform(400, 8, 1);
+        let queries = uniform(20, 8, 2);
+        let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
+        let index = FakeIndex { base };
+        let points = sweep_index(&index, &queries, &gt, 5, &[10, 100, 400]);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].precision <= points[1].precision);
+        assert!(points[1].precision <= points[2].precision);
+        assert!((points[2].precision - 1.0).abs() < 1e-12);
+        assert!(points.iter().all(|p| p.qps > 0.0 && p.mean_latency_us > 0.0));
+    }
+
+    #[test]
+    fn effort_ladder_is_increasing_and_ends_at_max() {
+        let ladder = effort_ladder(10, 320, 2.0);
+        assert_eq!(ladder, vec![10, 20, 40, 80, 160, 320]);
+        assert_eq!(*effort_ladder(7, 7, 1.5).last().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_ground_truth_is_rejected() {
+        let base = uniform(50, 4, 1);
+        let queries = uniform(5, 4, 2);
+        let gt = exact_knn(&base, &queries, 3, &SquaredEuclidean);
+        let other_queries = uniform(7, 4, 3);
+        let index = FakeIndex { base };
+        let _ = sweep_index(&index, &other_queries, &gt, 3, &[10]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Wall-clock helpers for the indexing-time experiments (Table 3, Figure 12,
+//! Table 5).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` and returns its result together with the elapsed wall-clock time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration the way the paper's tables report indexing times:
+/// seconds below ten minutes, otherwise hours.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 600.0 {
+        format!("{secs:.1}s")
+    } else {
+        format!("{:.2}h", secs / 3600.0)
+    }
+}
+
+/// Mean single-query response time in milliseconds, the metric of Table 5
+/// (SQR98: single-query response time at 98% precision).
+pub fn mean_query_millis(total: Duration, num_queries: usize) -> f64 {
+    total.as_secs_f64() * 1e3 / num_queries.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value_and_positive_duration() {
+        let (v, d) = time_it(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_formatting_switches_units() {
+        assert_eq!(format_duration(Duration::from_secs_f64(12.34)), "12.3s");
+        assert_eq!(format_duration(Duration::from_secs(7200)), "2.00h");
+    }
+
+    #[test]
+    fn per_query_millis() {
+        assert_eq!(mean_query_millis(Duration::from_millis(500), 100), 5.0);
+        assert_eq!(mean_query_millis(Duration::from_millis(500), 0), 500.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Exact kNN-graph construction by brute force.
+//!
+//! Quadratic in the number of points, but rayon-parallel over nodes; used for
+//! small datasets, for the exact MRNG ablations, and as the quality reference
+//! that NN-Descent recall is measured against.
+
+use crate::graph::{KnnGraph, ScoredNeighbor};
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use rayon::prelude::*;
+
+/// Builds the exact kNN graph of `base` under `metric`.
+///
+/// Each node's list excludes the node itself and is sorted by ascending
+/// distance; `k` is clamped to `n - 1`.
+pub fn build_exact_knn_graph<D: Distance + Sync + ?Sized>(
+    base: &VectorSet,
+    k: usize,
+    metric: &D,
+) -> KnnGraph {
+    let n = base.len();
+    let k = k.min(n.saturating_sub(1));
+    let lists: Vec<Vec<ScoredNeighbor>> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let vq = base.get(v);
+            let mut heap: std::collections::BinaryHeap<ScoredNeighbor> =
+                std::collections::BinaryHeap::with_capacity(k + 1);
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                let cand = ScoredNeighbor::new(u as u32, metric.distance(vq, base.get(u)));
+                if heap.len() < k {
+                    heap.push(cand);
+                } else if let Some(worst) = heap.peek() {
+                    if cand < *worst {
+                        heap.pop();
+                        heap.push(cand);
+                    }
+                }
+            }
+            let mut list = heap.into_vec();
+            list.sort_unstable();
+            list
+        })
+        .collect();
+    KnnGraph::from_lists(lists, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::synthetic::uniform;
+    use nsg_vectors::VectorSet;
+
+    #[test]
+    fn line_graph_neighbors_are_adjacent_points() {
+        // Points 0..6 on a line: the 2 nearest neighbors of an interior point
+        // are its immediate left and right neighbors.
+        let base = VectorSet::from_rows(1, &(0..6).map(|i| [i as f32]).collect::<Vec<_>>());
+        let g = build_exact_knn_graph(&base, 2, &SquaredEuclidean);
+        let ids: Vec<u32> = g.neighbor_ids(3).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&2) && ids.contains(&4));
+    }
+
+    #[test]
+    fn no_self_loops_and_k_respected() {
+        let base = uniform(80, 6, 1);
+        let g = build_exact_knn_graph(&base, 10, &SquaredEuclidean);
+        for v in 0..g.len() as u32 {
+            assert_eq!(g.neighbors(v).len(), 10);
+            assert!(g.neighbor_ids(v).all(|u| u != v));
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_for_tiny_sets() {
+        let base = uniform(3, 2, 1);
+        let g = build_exact_knn_graph(&base, 10, &SquaredEuclidean);
+        for v in 0..3u32 {
+            assert_eq!(g.neighbors(v).len(), 2);
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_by_distance() {
+        let base = uniform(60, 4, 3);
+        let g = build_exact_knn_graph(&base, 8, &SquaredEuclidean);
+        for v in 0..g.len() as u32 {
+            let dists: Vec<f32> = g.neighbors(v).iter().map(|n| n.dist).collect();
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn distances_stored_match_metric() {
+        let base = uniform(40, 3, 9);
+        let g = build_exact_knn_graph(&base, 5, &SquaredEuclidean);
+        for v in 0..g.len() as u32 {
+            for n in g.neighbors(v) {
+                let d = SquaredEuclidean.distance(base.get(v as usize), base.get(n.id as usize));
+                assert!((d - n.dist).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_graph_matches_ground_truth_routine() {
+        let base = uniform(50, 5, 21);
+        let g = build_exact_knn_graph(&base, 4, &SquaredEuclidean);
+        for v in 0..base.len() {
+            let (ids, _) =
+                nsg_vectors::ground_truth::exact_knn_single(&base, base.get(v), 5, &SquaredEuclidean);
+            // Drop the point itself (returned at distance 0) and compare.
+            let expected: Vec<u32> = ids.into_iter().filter(|&i| i as usize != v).take(4).collect();
+            let got: Vec<u32> = g.neighbor_ids(v as u32).collect();
+            assert_eq!(got, expected, "node {v}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The kNN-graph adjacency representation shared by the builders and by every
+//! index that consumes a kNN graph (NSG, KGraph, Efanna, DPG, NSG-Naive).
+
+use serde::{Deserialize, Serialize};
+
+/// One scored directed edge: the neighbor's id and its distance to the source
+/// node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredNeighbor {
+    /// Destination node id.
+    pub id: u32,
+    /// Distance from the source node to `id`.
+    pub dist: f32,
+}
+
+impl ScoredNeighbor {
+    /// Convenience constructor.
+    pub fn new(id: u32, dist: f32) -> Self {
+        Self { id, dist }
+    }
+}
+
+impl Eq for ScoredNeighbor {}
+
+impl PartialOrd for ScoredNeighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoredNeighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// A directed k-nearest-neighbor graph: for every node, its (approximate or
+/// exact) `k` nearest neighbors sorted by ascending distance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct KnnGraph {
+    /// `neighbors[v]` is the sorted neighbor list of node `v`.
+    neighbors: Vec<Vec<ScoredNeighbor>>,
+    /// The `k` the graph was built with (lists may be shorter for tiny sets).
+    k: usize,
+}
+
+impl KnnGraph {
+    /// Wraps prebuilt adjacency lists. Each list is re-sorted by distance so
+    /// downstream consumers can rely on the ordering invariant.
+    pub fn from_lists(mut neighbors: Vec<Vec<ScoredNeighbor>>, k: usize) -> Self {
+        for list in &mut neighbors {
+            list.sort_unstable();
+            list.dedup_by_key(|n| n.id);
+        }
+        Self { neighbors, k }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The `k` requested at build time.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The sorted neighbor list of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[ScoredNeighbor] {
+        &self.neighbors[v as usize]
+    }
+
+    /// Neighbor ids of node `v` without the distances.
+    pub fn neighbor_ids(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.neighbors[v as usize].iter().map(|n| n.id)
+    }
+
+    /// The nearest neighbor of `v`, if any (the head of its sorted list).
+    pub fn nearest(&self, v: u32) -> Option<ScoredNeighbor> {
+        self.neighbors[v as usize].first().copied()
+    }
+
+    /// Average out-degree of the graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.neighbors.len() as f64
+    }
+
+    /// Fraction of directed edges `u -> v` whose reverse edge `v -> u` is also
+    /// present. NN-Descent quality is often monitored through this symmetry
+    /// measure.
+    pub fn symmetry(&self) -> f64 {
+        let mut edges = 0usize;
+        let mut symmetric = 0usize;
+        for (u, list) in self.neighbors.iter().enumerate() {
+            for n in list {
+                edges += 1;
+                if self.neighbors[n.id as usize].iter().any(|m| m.id as usize == u) {
+                    symmetric += 1;
+                }
+            }
+        }
+        if edges == 0 {
+            1.0
+        } else {
+            symmetric as f64 / edges as f64
+        }
+    }
+
+    /// Recall of this graph against an exact reference graph: the average
+    /// fraction of each node's true k nearest neighbors present in its list.
+    ///
+    /// # Panics
+    /// Panics if the graphs have different node counts.
+    pub fn recall_against(&self, exact: &KnnGraph) -> f64 {
+        assert_eq!(self.len(), exact.len(), "graph sizes differ");
+        if self.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for v in 0..self.len() as u32 {
+            let truth: std::collections::HashSet<u32> = exact.neighbor_ids(v).collect();
+            if truth.is_empty() {
+                total += 1.0;
+                continue;
+            }
+            let hit = self.neighbor_ids(v).filter(|id| truth.contains(id)).count();
+            total += hit as f64 / truth.len() as f64;
+        }
+        total / self.len() as f64
+    }
+
+    /// Consumes the graph and returns the raw adjacency lists.
+    pub fn into_lists(self) -> Vec<Vec<ScoredNeighbor>> {
+        self.neighbors
+    }
+
+    /// Mutable access used by builders that post-process lists (e.g. DPG's
+    /// undirected compensation).
+    pub fn lists_mut(&mut self) -> &mut Vec<Vec<ScoredNeighbor>> {
+        &mut self.neighbors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnnGraph {
+        KnnGraph::from_lists(
+            vec![
+                vec![ScoredNeighbor::new(1, 2.0), ScoredNeighbor::new(2, 1.0)],
+                vec![ScoredNeighbor::new(0, 2.0)],
+                vec![ScoredNeighbor::new(0, 1.0), ScoredNeighbor::new(1, 3.0)],
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn lists_are_sorted_on_construction() {
+        let g = toy();
+        assert_eq!(g.neighbors(0)[0].id, 2);
+        assert_eq!(g.neighbors(0)[1].id, 1);
+        assert_eq!(g.nearest(0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn duplicate_ids_are_removed() {
+        let g = KnnGraph::from_lists(
+            vec![vec![
+                ScoredNeighbor::new(1, 1.0),
+                ScoredNeighbor::new(1, 1.0),
+                ScoredNeighbor::new(2, 2.0),
+            ]],
+            3,
+        );
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn average_degree_counts_edges() {
+        let g = toy();
+        assert!((g.average_degree() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_of_toy_graph() {
+        let g = toy();
+        // Edges: 0->2 (rev present), 0->1 (rev present), 1->0 (rev present),
+        // 2->0 (rev present), 2->1 (rev 1->2 missing) => 4/5.
+        assert!((g.symmetry() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_against_itself_is_one() {
+        let g = toy();
+        assert_eq!(g.recall_against(&g), 1.0);
+    }
+
+    #[test]
+    fn recall_against_disjoint_graph_is_low() {
+        let g = toy();
+        let other = KnnGraph::from_lists(
+            vec![
+                vec![ScoredNeighbor::new(1, 1.0)],
+                vec![ScoredNeighbor::new(2, 1.0)],
+                vec![ScoredNeighbor::new(1, 1.0)],
+            ],
+            1,
+        );
+        // Node 0: truth {1} vs ours {2,1} -> hit; node 1: truth {2} vs {0} -> miss;
+        // node 2: truth {1} vs {0,1} -> hit. Recall = 2/3.
+        assert!((g.recall_against(&other) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scored_neighbor_ordering_breaks_ties_by_id() {
+        let a = ScoredNeighbor::new(5, 1.0);
+        let b = ScoredNeighbor::new(3, 1.0);
+        assert!(b < a);
+    }
+}

@@ -1,0 +1,274 @@
+//! Flat, fixed-dimension vector storage.
+//!
+//! The paper's indices treat the base data as an immutable array of
+//! `n` points in `E^d`. [`VectorSet`] stores all coordinates contiguously
+//! (row-major) so that a vector is a single cache-aligned slice and sequential
+//! scans (ground truth, k-means, serial-scan baseline) stream through memory.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of `n` dense `f32` vectors of identical dimension `d`, stored
+/// contiguously in row-major order.
+///
+/// This is the substrate type every index in the workspace builds over.
+/// Vector ids are dense `u32` indices in `0..n`, matching the compact id
+/// space the original NSG implementation uses.
+#[derive(Clone, Serialize, Deserialize, PartialEq)]
+pub struct VectorSet {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for VectorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VectorSet")
+            .field("dim", &self.dim)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl VectorSet {
+    /// Creates an empty vector set of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty vector set with room for `capacity` vectors.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * capacity),
+        }
+    }
+
+    /// Builds a vector set from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(
+            data.len() % dim == 0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Builds a vector set from per-vector rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dim`.
+    pub fn from_rows<R: AsRef<[f32]>>(dim: usize, rows: &[R]) -> Self {
+        let mut set = Self::with_capacity(dim, rows.len());
+        for row in rows {
+            set.push(row.as_ref());
+        }
+        set
+    }
+
+    /// Number of vectors in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the set holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    #[inline]
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "pushed vector has wrong dimension");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Returns vector `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Returns vector `i` without bounds checks.
+    ///
+    /// # Safety
+    /// `i` must be smaller than `self.len()`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        self.data.get_unchecked(start..start + self.dim)
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterates over vectors in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Component-wise centroid of the set (the "centroid of the dataset" used
+    /// by Algorithm 2 step ii to locate the navigating node).
+    ///
+    /// Returns a zero vector for an empty set.
+    pub fn centroid(&self) -> Vec<f32> {
+        let mut acc = vec![0.0f64; self.dim];
+        for v in self.iter() {
+            for (a, &x) in acc.iter_mut().zip(v) {
+                *a += f64::from(x);
+            }
+        }
+        let n = self.len().max(1) as f64;
+        acc.into_iter().map(|a| (a / n) as f32).collect()
+    }
+
+    /// Returns a new set containing the vectors at the given ids, in order.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn subset(&self, ids: &[u32]) -> VectorSet {
+        let mut out = VectorSet::with_capacity(self.dim, ids.len());
+        for &id in ids {
+            out.push(self.get(id as usize));
+        }
+        out
+    }
+
+    /// Splits the set into the first `n` vectors and the rest.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn split_at(&self, n: usize) -> (VectorSet, VectorSet) {
+        assert!(n <= self.len());
+        let cut = n * self.dim;
+        (
+            VectorSet::from_flat(self.dim, self.data[..cut].to_vec()),
+            VectorSet::from_flat(self.dim, self.data[cut..].to_vec()),
+        )
+    }
+
+    /// Returns the first `n` vectors as a new set (a prefix subset), used by
+    /// the scaling experiments (Figures 9, 10, 12) which index growing
+    /// prefixes of a dataset.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn prefix(&self, n: usize) -> VectorSet {
+        assert!(n <= self.len());
+        VectorSet::from_flat(self.dim, self.data[..n * self.dim].to_vec())
+    }
+
+    /// Estimated resident memory of the raw vectors in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut s = VectorSet::new(3);
+        s.push(&[1.0, 2.0, 3.0]);
+        s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_flat_checks_multiple_of_dim() {
+        let s = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged_buffer() {
+        let _ = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn push_rejects_wrong_dim() {
+        let mut s = VectorSet::new(2);
+        s.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn centroid_of_known_points() {
+        let s = VectorSet::from_rows(2, &[[0.0, 0.0], [2.0, 4.0]]);
+        assert_eq!(s.centroid(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn centroid_of_empty_set_is_zero() {
+        let s = VectorSet::new(4);
+        assert_eq!(s.centroid(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn subset_picks_requested_ids() {
+        let s = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0], [3.0]]);
+        let sub = s.subset(&[3, 1]);
+        assert_eq!(sub.get(0), &[3.0]);
+        assert_eq!(sub.get(1), &[1.0]);
+    }
+
+    #[test]
+    fn split_and_prefix() {
+        let s = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0], [3.0]]);
+        let (a, b) = s.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0), &[1.0]);
+        let p = s.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(1), &[1.0]);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let s = VectorSet::from_rows(2, &[[1.0, 2.0], [3.0, 4.0]]);
+        let rows: Vec<&[f32]> = s.iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], s.get(0));
+        assert_eq!(rows[1], s.get(1));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let s = VectorSet::from_rows(4, &[[0.0; 4]; 8]);
+        assert_eq!(s.memory_bytes(), 8 * 4 * 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Exact k-nearest-neighbor ground truth.
+//!
+//! Precision (Eq. 1 of the paper) is computed against the exact k-NN set of
+//! each query, so every experiment needs a brute-force reference. This is also
+//! the "Serial Scan" baseline of Figure 6 / Table 5, since serial scan is
+//! exactly an exact k-NN search over the base data.
+
+use crate::dataset::VectorSet;
+use crate::distance::Distance;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Exact k-nearest-neighbor lists for a batch of queries.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroundTruth {
+    /// `neighbors[q]` holds the ids of the `k` closest base vectors to query
+    /// `q`, in ascending distance order.
+    pub neighbors: Vec<Vec<u32>>,
+    /// `distances[q][i]` is the distance of `neighbors[q][i]` to query `q`.
+    pub distances: Vec<Vec<f32>>,
+    /// The `k` used when computing this ground truth.
+    pub k: usize,
+}
+
+impl GroundTruth {
+    /// The exact neighbor ids of query `q`.
+    pub fn ids(&self, q: usize) -> &[u32] {
+        &self.neighbors[q]
+    }
+
+    /// Number of queries covered.
+    pub fn num_queries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Truncates every list to the first `k` entries (useful to evaluate
+    /// smaller `k` from a single precomputed ground truth).
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the stored `k`.
+    pub fn truncated(&self, k: usize) -> GroundTruth {
+        assert!(k <= self.k, "cannot extend ground truth from {} to {k}", self.k);
+        GroundTruth {
+            neighbors: self.neighbors.iter().map(|row| row[..k.min(row.len())].to_vec()).collect(),
+            distances: self.distances.iter().map(|row| row[..k.min(row.len())].to_vec()).collect(),
+            k,
+        }
+    }
+}
+
+/// One scored neighbor candidate (id, distance) ordered by distance then id so
+/// ties break deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    dist: f32,
+    id: u32,
+}
+
+impl Eq for Scored {}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Exact k nearest neighbors of a single query by scanning the whole base set.
+///
+/// Returns `(ids, distances)` sorted by ascending distance; ties break on id.
+/// `k` is clamped to the base size.
+pub fn exact_knn_single<D: Distance + ?Sized>(
+    base: &VectorSet,
+    query: &[f32],
+    k: usize,
+    metric: &D,
+) -> (Vec<u32>, Vec<f32>) {
+    let k = k.min(base.len());
+    if k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    // A bounded max-heap of the best k seen so far.
+    let mut heap: std::collections::BinaryHeap<Scored> = std::collections::BinaryHeap::with_capacity(k + 1);
+    for (i, v) in base.iter().enumerate() {
+        let dist = metric.distance(query, v);
+        let cand = Scored { dist, id: i as u32 };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("non-empty heap") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut sorted: Vec<Scored> = heap.into_vec();
+    sorted.sort_unstable();
+    (
+        sorted.iter().map(|s| s.id).collect(),
+        sorted.iter().map(|s| s.dist).collect(),
+    )
+}
+
+/// Exact k nearest neighbors for every query, computed in parallel.
+pub fn exact_knn<D: Distance + Sync + ?Sized>(
+    base: &VectorSet,
+    queries: &VectorSet,
+    k: usize,
+    metric: &D,
+) -> GroundTruth {
+    assert_eq!(base.dim(), queries.dim(), "base and query dimensions differ");
+    let results: Vec<(Vec<u32>, Vec<f32>)> = (0..queries.len())
+        .into_par_iter()
+        .map(|q| exact_knn_single(base, queries.get(q), k, metric))
+        .collect();
+    let mut neighbors = Vec::with_capacity(results.len());
+    let mut distances = Vec::with_capacity(results.len());
+    for (ids, dists) in results {
+        neighbors.push(ids);
+        distances.push(dists);
+    }
+    GroundTruth {
+        neighbors,
+        distances,
+        k: k.min(base.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::SquaredEuclidean;
+    use crate::synthetic::uniform;
+
+    #[test]
+    fn single_query_finds_true_neighbors_on_a_line() {
+        // Points at x = 0, 1, 2, ..., 9 on a line; query at 3.2.
+        let base = VectorSet::from_rows(1, &(0..10).map(|i| [i as f32]).collect::<Vec<_>>());
+        let (ids, dists) = exact_knn_single(&base, &[3.2], 3, &SquaredEuclidean);
+        assert_eq!(ids, vec![3, 4, 2]);
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn k_is_clamped_to_base_size() {
+        let base = VectorSet::from_rows(1, &[[0.0], [1.0]]);
+        let (ids, _) = exact_knn_single(&base, &[0.0], 10, &SquaredEuclidean);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let base = uniform(200, 8, 42);
+        let queries = uniform(10, 8, 43);
+        let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
+        for q in 0..queries.len() {
+            let (ids, dists) = exact_knn_single(&base, queries.get(q), 5, &SquaredEuclidean);
+            assert_eq!(gt.neighbors[q], ids);
+            assert_eq!(gt.distances[q], dists);
+        }
+    }
+
+    #[test]
+    fn query_identical_to_base_point_returns_it_first() {
+        let base = uniform(50, 4, 7);
+        let q = base.get(17).to_vec();
+        let (ids, dists) = exact_knn_single(&base, &q, 1, &SquaredEuclidean);
+        assert_eq!(ids[0], 17);
+        assert_eq!(dists[0], 0.0);
+    }
+
+    #[test]
+    fn distances_are_sorted_ascending() {
+        let base = uniform(300, 16, 9);
+        let queries = uniform(5, 16, 10);
+        let gt = exact_knn(&base, &queries, 20, &SquaredEuclidean);
+        for row in &gt.distances {
+            assert!(row.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let base = uniform(100, 4, 1);
+        let queries = uniform(3, 4, 2);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let gt5 = gt.truncated(5);
+        assert_eq!(gt5.k, 5);
+        for q in 0..3 {
+            assert_eq!(gt5.neighbors[q], gt.neighbors[q][..5]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend")]
+    fn truncation_cannot_extend() {
+        let base = uniform(10, 4, 1);
+        let queries = uniform(1, 4, 2);
+        let gt = exact_knn(&base, &queries, 3, &SquaredEuclidean);
+        let _ = gt.truncated(5);
+    }
+
+    #[test]
+    fn empty_k_returns_empty() {
+        let base = uniform(10, 4, 1);
+        let (ids, dists) = exact_knn_single(&base, base.get(0), 0, &SquaredEuclidean);
+        assert!(ids.is_empty());
+        assert!(dists.is_empty());
+    }
+}

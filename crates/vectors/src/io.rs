@@ -1,0 +1,281 @@
+//! Readers and writers for the TEXMEX / BIGANN vector file formats.
+//!
+//! SIFT1M, GIST1M and DEEP1B — the public datasets of the paper's evaluation —
+//! are distributed as `.fvecs` (float vectors), `.ivecs` (integer vectors,
+//! used for ground truth) and `.bvecs` (byte vectors) files. Each record is a
+//! little-endian `i32` dimension `d` followed by `d` components.
+//!
+//! The reproduction runs on synthetic data by default, but these routines let
+//! the real datasets be dropped in unchanged, and the experiment binaries use
+//! them to cache generated datasets and ground truth between runs.
+
+use crate::dataset::VectorSet;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the vector-file readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file's structure is inconsistent (negative dimension, mismatched
+    /// record sizes, truncated record).
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn read_dim<R: Read>(reader: &mut R) -> Result<Option<usize>, IoError> {
+    let mut buf = [0u8; 4];
+    match reader.read_exact(&mut buf) {
+        Ok(()) => {
+            let d = i32::from_le_bytes(buf);
+            if d <= 0 {
+                return Err(IoError::Format(format!("non-positive dimension {d}")));
+            }
+            Ok(Some(d as usize))
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(IoError::Io(e)),
+    }
+}
+
+/// Reads an `.fvecs` file (or any reader with that layout) into a [`VectorSet`].
+pub fn read_fvecs_from<R: Read>(reader: R) -> Result<VectorSet, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    while let Some(d) = read_dim(&mut reader)? {
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(IoError::Format(format!(
+                    "record dimension {d} differs from first record dimension {existing}"
+                )));
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated fvecs record".to_string())
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        data.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty fvecs file".to_string()))?;
+    Ok(VectorSet::from_flat(dim, data))
+}
+
+/// Reads an `.fvecs` file from disk.
+pub fn read_fvecs<P: AsRef<Path>>(path: P) -> Result<VectorSet, IoError> {
+    read_fvecs_from(File::open(path)?)
+}
+
+/// Writes a [`VectorSet`] in `.fvecs` layout.
+pub fn write_fvecs_to<W: Write>(writer: W, set: &VectorSet) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(writer);
+    let dim = set.dim() as i32;
+    for v in set.iter() {
+        writer.write_all(&dim.to_le_bytes())?;
+        for &x in v {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a [`VectorSet`] to an `.fvecs` file on disk.
+pub fn write_fvecs<P: AsRef<Path>>(path: P, set: &VectorSet) -> Result<(), IoError> {
+    write_fvecs_to(File::create(path)?, set)
+}
+
+/// Reads an `.ivecs` file (one `i32` vector per record) — the ground-truth
+/// format of the BIGANN datasets.
+pub fn read_ivecs_from<R: Read>(reader: R) -> Result<Vec<Vec<u32>>, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut rows = Vec::new();
+    while let Some(d) = read_dim(&mut reader)? {
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated ivecs record".to_string())
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        rows.push(
+            buf.chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u32)
+                .collect(),
+        );
+    }
+    Ok(rows)
+}
+
+/// Reads an `.ivecs` file from disk.
+pub fn read_ivecs<P: AsRef<Path>>(path: P) -> Result<Vec<Vec<u32>>, IoError> {
+    read_ivecs_from(File::open(path)?)
+}
+
+/// Writes integer vectors in `.ivecs` layout.
+pub fn write_ivecs_to<W: Write>(writer: W, rows: &[Vec<u32>]) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(writer);
+    for row in rows {
+        writer.write_all(&(row.len() as i32).to_le_bytes())?;
+        for &x in row {
+            writer.write_all(&(x as i32).to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes integer vectors to an `.ivecs` file on disk.
+pub fn write_ivecs<P: AsRef<Path>>(path: P, rows: &[Vec<u32>]) -> Result<(), IoError> {
+    write_ivecs_to(File::create(path)?, rows)
+}
+
+/// Reads a `.bvecs` file (one byte vector per record; SIFT1B / DEEP descriptors
+/// are shipped this way) and widens the components to `f32`.
+pub fn read_bvecs_from<R: Read>(reader: R) -> Result<VectorSet, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    while let Some(d) = read_dim(&mut reader)? {
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(IoError::Format(format!(
+                    "record dimension {d} differs from first record dimension {existing}"
+                )));
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d];
+        reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated bvecs record".to_string())
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        data.extend(buf.iter().map(|&b| f32::from(b)));
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty bvecs file".to_string()))?;
+    Ok(VectorSet::from_flat(dim, data))
+}
+
+/// Reads a `.bvecs` file from disk.
+pub fn read_bvecs<P: AsRef<Path>>(path: P) -> Result<VectorSet, IoError> {
+    read_bvecs_from(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn fvecs_roundtrip_in_memory() {
+        let set = VectorSet::from_rows(3, &[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &set).unwrap();
+        // 2 records * (4 bytes header + 12 bytes payload)
+        assert_eq!(buf.len(), 2 * (4 + 12));
+        let back = read_fvecs_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn ivecs_roundtrip_in_memory() {
+        let rows = vec![vec![7u32, 1, 3], vec![0u32, 2, 9]];
+        let mut buf = Vec::new();
+        write_ivecs_to(&mut buf, &rows).unwrap();
+        let back = read_ivecs_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn empty_fvecs_is_an_error() {
+        let err = read_fvecs_from(Cursor::new(Vec::<u8>::new())).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4i32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 of 4 components
+        let err = read_fvecs_from(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn mismatched_dims_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1i32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        buf.extend_from_slice(&2i32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        buf.extend_from_slice(&2.0f32.to_le_bytes());
+        let err = read_fvecs_from(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn negative_dimension_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(-3i32).to_le_bytes());
+        let err = read_fvecs_from(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn bvecs_widens_bytes() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3i32.to_le_bytes());
+        buf.extend_from_slice(&[10u8, 20, 255]);
+        let set = read_bvecs_from(Cursor::new(buf)).unwrap();
+        assert_eq!(set.dim(), 3);
+        assert_eq!(set.get(0), &[10.0, 20.0, 255.0]);
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let set = VectorSet::from_rows(2, &[[0.5, -1.5], [3.25, 4.0]]);
+        let dir = std::env::temp_dir().join(format!("nsg_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.fvecs");
+        write_fvecs(&path, &set).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

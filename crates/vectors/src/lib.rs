@@ -1,0 +1,35 @@
+//! Dense-vector substrate for the NSG (Navigating Spreading-out Graph)
+//! reproduction.
+//!
+//! This crate provides everything the graph indices operate on:
+//!
+//! * [`dataset::VectorSet`] — a flat, cache-friendly container of fixed-dimension
+//!   `f32` vectors,
+//! * [`distance`] — the l2 / inner-product / cosine distance kernels used by the
+//!   paper (Euclidean space `E^d` under the l2 norm), plus an instrumented
+//!   counting wrapper used to regenerate Figure 8,
+//! * [`io`] — readers and writers for the TEXMEX / BIGANN `fvecs`, `ivecs` and
+//!   `bvecs` formats in which SIFT1M, GIST1M and DEEP1B are distributed,
+//! * [`synthetic`] — scaled-down synthetic stand-ins for the paper's datasets
+//!   (SIFT-like, GIST-like, RAND, GAUSS, DEEP-like, e-commerce-like),
+//! * [`ground_truth`] — exact (brute-force, rayon-parallel) k-nearest-neighbor
+//!   computation,
+//! * [`metrics`] — the precision / recall definition of Eq. (1),
+//! * [`lid`] — the local intrinsic dimension estimator used in Table 1,
+//! * [`sample`] — deterministic sampling and train/query/validation splits.
+//!
+//! All randomized routines take explicit seeds so experiments are reproducible.
+
+pub mod dataset;
+pub mod distance;
+pub mod ground_truth;
+pub mod io;
+pub mod lid;
+pub mod metrics;
+pub mod sample;
+pub mod synthetic;
+
+pub use dataset::VectorSet;
+pub use distance::{CountingDistance, Distance, DistanceKind, Euclidean, InnerProduct, SquaredEuclidean};
+pub use ground_truth::{exact_knn, exact_knn_single, GroundTruth};
+pub use metrics::{precision_at_k, recall_curve};

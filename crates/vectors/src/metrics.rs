@@ -1,0 +1,190 @@
+//! Search-quality metrics.
+//!
+//! The paper evaluates accuracy with the precision of Eq. (1):
+//! `precision(R') = |R' ∩ R| / K` where `R` is the exact k-NN set and `R'` the
+//! returned set. Because `|R'| = K` in all experiments, precision and recall
+//! coincide; we expose both names.
+
+use crate::ground_truth::GroundTruth;
+
+/// Precision of a single returned list against the exact neighbor ids
+/// (Eq. 1): the fraction of returned ids that are true k-nearest neighbors.
+///
+/// Duplicated ids in `returned` are counted once, so a degenerate answer
+/// cannot inflate its score.
+pub fn precision_at_k(returned: &[u32], exact: &[u32]) -> f64 {
+    if exact.is_empty() {
+        return if returned.is_empty() { 1.0 } else { 0.0 };
+    }
+    let truth: std::collections::HashSet<u32> = exact.iter().copied().collect();
+    let mut seen = std::collections::HashSet::with_capacity(returned.len());
+    let mut hits = 0usize;
+    for &id in returned {
+        if truth.contains(&id) && seen.insert(id) {
+            hits += 1;
+        }
+    }
+    hits as f64 / exact.len() as f64
+}
+
+/// Mean precision over a batch of queries.
+///
+/// `results[q]` is the returned id list for query `q`; ground truth rows are
+/// truncated (or used in full) to `k`.
+///
+/// # Panics
+/// Panics if `results.len()` differs from the number of ground-truth queries.
+pub fn mean_precision(results: &[Vec<u32>], gt: &GroundTruth, k: usize) -> f64 {
+    assert_eq!(
+        results.len(),
+        gt.num_queries(),
+        "result batch size does not match ground truth"
+    );
+    if results.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (q, returned) in results.iter().enumerate() {
+        let exact = &gt.neighbors[q];
+        let exact_k = &exact[..k.min(exact.len())];
+        total += precision_at_k(&returned[..k.min(returned.len())], exact_k);
+    }
+    total / results.len() as f64
+}
+
+/// A point on a quality/cost curve: the cost axis is chosen by the caller
+/// (queries per second, distance computations, search-pool size, ...).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CurvePoint {
+    /// Mean precision at this operating point.
+    pub precision: f64,
+    /// Cost measure (e.g. QPS or #distance computations) at this point.
+    pub cost: f64,
+}
+
+/// Builds a precision-vs-cost curve from parallel slices, sorted by precision.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn recall_curve(precisions: &[f64], costs: &[f64]) -> Vec<CurvePoint> {
+    assert_eq!(precisions.len(), costs.len());
+    let mut points: Vec<CurvePoint> = precisions
+        .iter()
+        .zip(costs)
+        .map(|(&precision, &cost)| CurvePoint { precision, cost })
+        .collect();
+    points.sort_by(|a, b| a.precision.total_cmp(&b.precision));
+    points
+}
+
+/// Linearly interpolates the cost at which a curve reaches `target_precision`.
+///
+/// Returns `None` when the curve never reaches the target. Used by the scaling
+/// experiments (Figures 9–12), which report search time "at 95% / 99%
+/// precision".
+pub fn cost_at_precision(curve: &[CurvePoint], target_precision: f64) -> Option<f64> {
+    let mut sorted = curve.to_vec();
+    sorted.sort_by(|a, b| a.precision.total_cmp(&b.precision));
+    if sorted.is_empty() || sorted.last().expect("non-empty").precision < target_precision {
+        return None;
+    }
+    if sorted[0].precision >= target_precision {
+        return Some(sorted[0].cost);
+    }
+    for w in sorted.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if lo.precision < target_precision && hi.precision >= target_precision {
+            let span = (hi.precision - lo.precision).max(1e-12);
+            let t = (target_precision - lo.precision) / span;
+            return Some(lo.cost + t * (hi.cost - lo.cost));
+        }
+    }
+    sorted.last().map(|p| p.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_answer_has_precision_one() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_answer_has_precision_zero() {
+        assert_eq!(precision_at_k(&[4, 5, 6], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_fraction() {
+        assert_eq!(precision_at_k(&[1, 9, 3], &[1, 2, 3]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_precision() {
+        assert_eq!(precision_at_k(&[1, 1, 1], &[1, 2, 3]), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_ground_truth_convention() {
+        assert_eq!(precision_at_k(&[], &[]), 1.0);
+        assert_eq!(precision_at_k(&[1], &[]), 0.0);
+    }
+
+    fn toy_gt() -> GroundTruth {
+        GroundTruth {
+            neighbors: vec![vec![0, 1, 2], vec![3, 4, 5]],
+            distances: vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]],
+            k: 3,
+        }
+    }
+
+    #[test]
+    fn mean_precision_averages_queries() {
+        let gt = toy_gt();
+        let results = vec![vec![0, 1, 2], vec![3, 9, 9]];
+        let p = mean_precision(&results, &gt, 3);
+        assert!((p - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_precision_respects_smaller_k() {
+        let gt = toy_gt();
+        let results = vec![vec![0], vec![5]];
+        // At k = 1 only the first ground-truth id counts.
+        let p = mean_precision(&results, &gt, 1);
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn curve_is_sorted_by_precision() {
+        let curve = recall_curve(&[0.9, 0.5, 0.99], &[100.0, 500.0, 20.0]);
+        assert!(curve.windows(2).all(|w| w[0].precision <= w[1].precision));
+    }
+
+    #[test]
+    fn cost_interpolation_between_points() {
+        let curve = vec![
+            CurvePoint { precision: 0.90, cost: 100.0 },
+            CurvePoint { precision: 0.98, cost: 300.0 },
+        ];
+        let c = cost_at_precision(&curve, 0.94).unwrap();
+        assert!((c - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_is_none_when_target_unreachable() {
+        let curve = vec![CurvePoint { precision: 0.8, cost: 10.0 }];
+        assert!(cost_at_precision(&curve, 0.95).is_none());
+    }
+
+    #[test]
+    fn cost_uses_first_point_when_already_above_target() {
+        let curve = vec![
+            CurvePoint { precision: 0.97, cost: 50.0 },
+            CurvePoint { precision: 0.99, cost: 80.0 },
+        ];
+        assert_eq!(cost_at_precision(&curve, 0.95), Some(50.0));
+    }
+}

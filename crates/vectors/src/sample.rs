@@ -1,0 +1,161 @@
+//! Deterministic sampling and dataset splitting.
+//!
+//! Section 4.1.1 of the paper repartitions each dataset by sampling one
+//! percent of the training points as a validation set used for parameter
+//! tuning, and §4.1.4 / §4.2 sample subsets of growing size for the scaling
+//! experiments and partition a dataset into shards for distributed search.
+//! These helpers implement those operations with explicit seeds.
+
+use crate::dataset::VectorSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A base/validation split as used for parameter tuning in §4.1.1.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Remaining training (base) vectors.
+    pub base: VectorSet,
+    /// Held-out validation queries.
+    pub validation: VectorSet,
+    /// Ids (into the original set) of the vectors that became the base.
+    pub base_ids: Vec<u32>,
+    /// Ids (into the original set) of the vectors that became validation
+    /// queries.
+    pub validation_ids: Vec<u32>,
+}
+
+/// Randomly samples `fraction` of the set as a validation split and returns
+/// the remainder as the base.
+///
+/// `fraction` is clamped to `[0, 1]`; at least one vector is kept in the base
+/// when the input is non-empty.
+pub fn holdout_split(set: &VectorSet, fraction: f64, seed: u64) -> Split {
+    let n = set.len();
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let mut n_val = (n as f64 * fraction).round() as usize;
+    if n > 0 && n_val >= n {
+        n_val = n - 1;
+    }
+    let validation_ids: Vec<u32> = ids[..n_val].to_vec();
+    let base_ids: Vec<u32> = ids[n_val..].to_vec();
+    Split {
+        base: set.subset(&base_ids),
+        validation: set.subset(&validation_ids),
+        base_ids,
+        validation_ids,
+    }
+}
+
+/// Samples `count` vectors uniformly without replacement.
+///
+/// `count` is clamped to the set size. Returned ids refer to the original set.
+pub fn sample_subset(set: &VectorSet, count: usize, seed: u64) -> (VectorSet, Vec<u32>) {
+    let mut ids: Vec<u32> = (0..set.len() as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(count.min(set.len()));
+    (set.subset(&ids), ids)
+}
+
+/// Randomly partitions the set into `parts` shards of (nearly) equal size, as
+/// done for the 16-shard DEEP100M experiment and the 12/32-partition Taobao
+/// deployments.
+///
+/// Returns one `(shard, original_ids)` pair per partition. `parts` is clamped
+/// to at least 1.
+pub fn random_partition(set: &VectorSet, parts: usize, seed: u64) -> Vec<(VectorSet, Vec<u32>)> {
+    let parts = parts.max(1);
+    let mut ids: Vec<u32> = (0..set.len() as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(parts);
+    let chunk = set.len().div_ceil(parts).max(1);
+    for part_ids in ids.chunks(chunk) {
+        out.push((set.subset(part_ids), part_ids.to_vec()));
+    }
+    while out.len() < parts {
+        out.push((VectorSet::new(set.dim()), Vec::new()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+
+    #[test]
+    fn holdout_sizes_add_up() {
+        let set = uniform(100, 4, 1);
+        let split = holdout_split(&set, 0.1, 7);
+        assert_eq!(split.base.len() + split.validation.len(), 100);
+        assert_eq!(split.validation.len(), 10);
+        assert_eq!(split.base_ids.len(), split.base.len());
+        assert_eq!(split.validation_ids.len(), split.validation.len());
+    }
+
+    #[test]
+    fn holdout_ids_are_disjoint_and_cover_everything() {
+        let set = uniform(50, 2, 3);
+        let split = holdout_split(&set, 0.2, 9);
+        let mut all: Vec<u32> = split.base_ids.iter().chain(&split.validation_ids).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn holdout_is_deterministic_per_seed() {
+        let set = uniform(40, 2, 3);
+        let a = holdout_split(&set, 0.25, 11);
+        let b = holdout_split(&set, 0.25, 11);
+        assert_eq!(a.validation_ids, b.validation_ids);
+        let c = holdout_split(&set, 0.25, 12);
+        assert_ne!(a.validation_ids, c.validation_ids);
+    }
+
+    #[test]
+    fn holdout_keeps_at_least_one_base_vector() {
+        let set = uniform(5, 2, 1);
+        let split = holdout_split(&set, 1.0, 2);
+        assert!(split.base.len() >= 1);
+    }
+
+    #[test]
+    fn sample_subset_respects_count_and_bounds() {
+        let set = uniform(30, 3, 5);
+        let (sub, ids) = sample_subset(&set, 10, 8);
+        assert_eq!(sub.len(), 10);
+        assert_eq!(ids.len(), 10);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(sub.get(i), set.get(id as usize));
+        }
+        let (all, _) = sample_subset(&set, 100, 8);
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn partition_covers_all_ids_exactly_once() {
+        let set = uniform(101, 2, 6);
+        let parts = random_partition(&set, 4, 13);
+        assert_eq!(parts.len(), 4);
+        let mut all: Vec<u32> = parts.iter().flat_map(|(_, ids)| ids.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..101).collect::<Vec<u32>>());
+        // Shard sizes are balanced within one chunk.
+        let sizes: Vec<usize> = parts.iter().map(|(s, _)| s.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 26);
+    }
+
+    #[test]
+    fn partition_with_more_parts_than_points_pads_empty_shards() {
+        let set = uniform(3, 2, 6);
+        let parts = random_partition(&set, 5, 1);
+        assert_eq!(parts.len(), 5);
+        let non_empty = parts.iter().filter(|(s, _)| !s.is_empty()).count();
+        assert_eq!(non_empty, 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build an NSG over synthetic SIFT-like descriptors, run a batch
+//! of 10-NN queries, and report precision and throughput.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nsg::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // 1. Data: 5,000 base vectors and 100 held-out queries from the same
+    //    distribution (a laptop-scale stand-in for SIFT1M).
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 5000, 100, 42);
+    let base = Arc::new(base);
+    println!("base: {} vectors of dim {}", base.len(), base.dim());
+
+    // 2. Exact ground truth for precision measurement (Eq. 1 of the paper).
+    let k = 10;
+    let gt = exact_knn(&base, &queries, k, &SquaredEuclidean);
+
+    // 3. Build the NSG (Algorithm 2: kNN graph -> navigating node ->
+    //    search-collect-select -> DFS tree spanning).
+    let t0 = Instant::now();
+    let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, NsgParams::default());
+    println!(
+        "NSG built in {:.2?}: avg out-degree {:.1}, max out-degree {}, navigating node {}",
+        t0.elapsed(),
+        index.graph().average_out_degree(),
+        index.graph().max_out_degree(),
+        index.navigating_node()
+    );
+
+    // 4. Search with a few candidate-pool sizes (the effort knob of Figure 6).
+    for effort in [20usize, 50, 100, 200] {
+        let t = Instant::now();
+        let results: Vec<Vec<u32>> = (0..queries.len())
+            .map(|q| index.search(queries.get(q), k, SearchQuality::new(effort)))
+            .collect();
+        let elapsed = t.elapsed();
+        let precision = mean_precision(&results, &gt, k);
+        println!(
+            "pool size {effort:>4}: precision {:.3}, {:.0} queries/s",
+            precision,
+            queries.len() as f64 / elapsed.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! The distributed-search design of §4.2 / §4.3 in miniature: partition a
+//! large collection into shards, build one NSG per shard, answer queries by
+//! searching every shard and merging, and persist / reload the per-shard
+//! graphs with the compact binary format.
+//!
+//! ```sh
+//! cargo run --release --example sharded_billion_scale
+//! ```
+
+use nsg::core::serialize::{graph_from_bytes, graph_to_bytes};
+use nsg::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // Stand-in for the e-commerce collection: 12,000 vectors, 6 shards
+    // (the paper's Taobao deployment uses 12 and 32 partitions).
+    let (base, queries) = base_and_queries(SyntheticKind::EcommerceLike, 12_000, 50, 11);
+    let k = 10;
+    let gt = exact_knn(&base, &queries, k, &SquaredEuclidean);
+
+    let t = Instant::now();
+    let sharded = ShardedNsg::build(&base, SquaredEuclidean, NsgParams::default(), 6, 3);
+    println!(
+        "built {} shard NSGs over {} vectors in {:.2?} (total index {} KiB)",
+        sharded.num_shards(),
+        base.len(),
+        t.elapsed(),
+        sharded.memory_bytes() / 1024
+    );
+
+    // Search: every shard is probed and the per-shard answers are merged.
+    let t = Instant::now();
+    let results: Vec<Vec<u32>> = (0..queries.len())
+        .map(|q| sharded.search(queries.get(q), k, SearchQuality::new(100)))
+        .collect();
+    let elapsed = t.elapsed();
+    println!(
+        "merged search: precision {:.3}, {:.2} ms/query",
+        mean_precision(&results, &gt, k),
+        elapsed.as_secs_f64() * 1e3 / queries.len() as f64
+    );
+
+    // Persist each shard's graph with the compact binary layout and reload it,
+    // as a production deployment would ship indices to serving machines.
+    let mut total_bytes = 0usize;
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        let bytes = graph_to_bytes(shard.graph(), shard.navigating_node());
+        total_bytes += bytes.len();
+        let (graph, nav) = graph_from_bytes(&bytes).expect("round-trip");
+        assert_eq!(&graph, shard.graph());
+        assert_eq!(nav, shard.navigating_node());
+        if i == 0 {
+            println!("shard 0 serialized graph: {} KiB", bytes.len() / 1024);
+        }
+    }
+    println!("all {} shard graphs serialize/deserialize losslessly ({} KiB total)", sharded.num_shards(), total_bytes / 1024);
+}

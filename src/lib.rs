@@ -1,0 +1,72 @@
+//! # nsg — Navigating Spreading-out Graph, reproduced in Rust
+//!
+//! An end-to-end reproduction of *Fast Approximate Nearest Neighbor Search
+//! With The Navigating Spreading-out Graph* (Fu, Xiang, Wang, Cai — VLDB
+//! 2019): the MRNG and NSG graph indices, the shared search-on-graph routine,
+//! every baseline the paper compares against, and the experiment harness that
+//! regenerates each table and figure of its evaluation.
+//!
+//! This umbrella crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`vectors`] — dense-vector substrate (storage, distances, I/O, synthetic
+//!   datasets, ground truth, metrics, LID),
+//! * [`knn`] — kNN-graph construction (NN-Descent and exact),
+//! * [`core`] — MRNG, NSG, search-on-graph, graph analytics, serialization,
+//!   sharded search,
+//! * [`baselines`] — the compared methods (KD-trees, LSH, IVF-PQ, KGraph,
+//!   Efanna, NSW, HNSW, FANNG, DPG, NSG-Naive, serial scan),
+//! * [`eval`] — QPS/precision sweeps, scaling fits, report emission.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nsg::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Index 2,000 synthetic SIFT-like vectors and run a 10-NN query.
+//! let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 2000, 10, 42);
+//! let base = Arc::new(base);
+//! let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, NsgParams::default());
+//! let neighbors = index.search(queries.get(0), 10, SearchQuality::new(100));
+//! assert_eq!(neighbors.len(), 10);
+//! ```
+
+pub use nsg_baselines as baselines;
+pub use nsg_core as core;
+pub use nsg_eval as eval;
+pub use nsg_knn as knn;
+pub use nsg_vectors as vectors;
+
+/// The most commonly used items, re-exported for `use nsg::prelude::*`.
+pub mod prelude {
+    pub use nsg_baselines::{
+        DpgIndex, EfannaIndex, FanngIndex, HnswIndex, IvfPq, KGraphIndex, KdForest, LshIndex,
+        NsgNaiveIndex, NswIndex, SerialScan,
+    };
+    pub use nsg_core::index::{AnnIndex, SearchQuality};
+    pub use nsg_core::nsg::{NsgIndex, NsgParams};
+    pub use nsg_core::search::{search_on_graph, SearchParams};
+    pub use nsg_core::sharded::ShardedNsg;
+    pub use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
+    pub use nsg_vectors::distance::{Distance, Euclidean, InnerProduct, SquaredEuclidean};
+    pub use nsg_vectors::ground_truth::exact_knn;
+    pub use nsg_vectors::metrics::mean_precision;
+    pub use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+    pub use nsg_vectors::VectorSet;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn umbrella_reexports_compose() {
+        let (base, queries) = base_and_queries(SyntheticKind::RandUniform, 300, 5, 1);
+        let base = Arc::new(base);
+        let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, NsgParams::default());
+        let res = index.search(queries.get(0), 5, SearchQuality::new(50));
+        assert_eq!(res.len(), 5);
+    }
+}

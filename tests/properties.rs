@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) of the core invariants: the MRNG's
+//! monotonicity (Theorem 3), the MRNG ⊇ NNG containment (Figure 4's
+//! requirement), pruning subsets, candidate-pool ordering, and metric/format
+//! round-trips under arbitrary inputs.
+
+use nsg::core::mrng::{build_mrng, has_monotonic_path, mrng_select, MrngParams};
+use nsg::core::neighbor::CandidatePool;
+use nsg::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random point set of dimension 2–4 with 4–40 points.
+fn point_set() -> impl Strategy<Value = VectorSet> {
+    (2usize..5, 4usize..40).prop_flat_map(|(dim, n)| {
+        proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, dim), n)
+            .prop_map(move |rows| VectorSet::from_rows(dim, &rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3: the exact MRNG has a monotonic path between every ordered
+    /// pair of nodes.
+    #[test]
+    fn mrng_is_always_a_monotonic_search_network(base in point_set()) {
+        let g = build_mrng(&base, MrngParams::default(), &SquaredEuclidean);
+        let n = base.len() as u32;
+        for p in 0..n {
+            for q in 0..n {
+                prop_assert!(
+                    has_monotonic_path(&g, &base, p, q, &SquaredEuclidean),
+                    "no monotonic path {p} -> {q}"
+                );
+            }
+        }
+    }
+
+    /// NNG ⊆ MRNG: every node keeps an edge to (one of) its nearest
+    /// neighbors; without it the graph cannot be monotonic (Figure 4).
+    #[test]
+    fn mrng_contains_a_nearest_neighbor_edge(base in point_set()) {
+        let g = build_mrng(&base, MrngParams::default(), &SquaredEuclidean);
+        for p in 0..base.len() {
+            let mut best = f32::INFINITY;
+            for q in 0..base.len() {
+                if q != p {
+                    best = best.min(SquaredEuclidean.distance(base.get(p), base.get(q)));
+                }
+            }
+            let has_nn_edge = g.neighbors(p as u32).iter().any(|&u| {
+                (SquaredEuclidean.distance(base.get(p), base.get(u as usize)) - best).abs() <= f32::EPSILON * best.max(1.0)
+            });
+            prop_assert!(has_nn_edge, "node {p} lost every nearest-neighbor edge");
+        }
+    }
+
+    /// The MRNG pruning returns a subset of its candidates, in order, without
+    /// duplicates, and never exceeds the degree cap.
+    #[test]
+    fn mrng_select_returns_a_bounded_subset(
+        base in point_set(),
+        cap in 1usize..8,
+    ) {
+        let node = base.get(0).to_vec();
+        let mut candidates: Vec<(u32, f32)> = (1..base.len() as u32)
+            .map(|q| (q, SquaredEuclidean.distance(&node, base.get(q as usize))))
+            .collect();
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let selected = mrng_select(&base, &node, &candidates, cap, &SquaredEuclidean);
+        prop_assert!(selected.len() <= cap);
+        let candidate_ids: Vec<u32> = candidates.iter().map(|&(id, _)| id).collect();
+        let mut seen = std::collections::HashSet::new();
+        for id in &selected {
+            prop_assert!(candidate_ids.contains(id));
+            prop_assert!(seen.insert(*id), "duplicate id {id} selected");
+        }
+        if !candidates.is_empty() {
+            // The closest candidate always survives.
+            prop_assert_eq!(selected.first().copied(), Some(candidates[0].0));
+        }
+    }
+
+    /// The candidate pool of Algorithm 1 always stays sorted, bounded and
+    /// duplicate-free regardless of the insertion order.
+    #[test]
+    fn candidate_pool_invariants(
+        capacity in 1usize..16,
+        inserts in proptest::collection::vec((0u32..64, 0.0f32..1000.0), 0..128),
+    ) {
+        let mut pool = CandidatePool::new(capacity);
+        for (id, dist) in inserts {
+            pool.insert(id, dist);
+            prop_assert!(pool.len() <= capacity);
+            let entries = pool.entries();
+            for w in entries.windows(2) {
+                prop_assert!(w[0].dist <= w[1].dist, "pool out of order");
+            }
+            let mut ids: Vec<u32> = entries.iter().map(|e| e.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), entries.len(), "duplicate id in pool");
+        }
+    }
+
+    /// Precision is always within [0, 1] and equals 1 exactly when the answer
+    /// covers the ground truth.
+    #[test]
+    fn precision_is_bounded(
+        returned in proptest::collection::vec(0u32..50, 0..20),
+        exact in proptest::collection::vec(0u32..50, 1..20),
+    ) {
+        let mut exact = exact;
+        exact.sort_unstable();
+        exact.dedup();
+        let p = nsg::vectors::metrics::precision_at_k(&returned, &exact);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let full = nsg::vectors::metrics::precision_at_k(&exact, &exact);
+        prop_assert!((full - 1.0).abs() < 1e-12);
+    }
+
+    /// fvecs serialization round-trips arbitrary finite vector sets.
+    #[test]
+    fn fvecs_roundtrip(base in point_set()) {
+        let mut buf = Vec::new();
+        nsg::vectors::io::write_fvecs_to(&mut buf, &base).unwrap();
+        let back = nsg::vectors::io::read_fvecs_from(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, base);
+    }
+
+    /// Exact k-NN ground truth is symmetric in the metric: the reported
+    /// distances match recomputation and are sorted.
+    #[test]
+    fn ground_truth_distances_are_consistent(base in point_set()) {
+        let query = base.get(0).to_vec();
+        let (ids, dists) = nsg::vectors::ground_truth::exact_knn_single(&base, &query, 5, &SquaredEuclidean);
+        for (id, d) in ids.iter().zip(&dists) {
+            let recomputed = SquaredEuclidean.distance(&query, base.get(*id as usize));
+            prop_assert!((recomputed - d).abs() <= 1e-3 * d.max(1.0));
+        }
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
