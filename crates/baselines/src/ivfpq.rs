@@ -110,8 +110,8 @@ impl<D: Distance> IvfPq<D> {
         // Residuals of every vector to its coarse centroid.
         let assignments: Vec<usize> = (0..base.len()).map(|i| coarse.assign(base.get(i))).collect();
         let mut residuals = VectorSet::with_capacity(dim, base.len());
-        for i in 0..base.len() {
-            let c = coarse.centroids().get(assignments[i]);
+        for (i, &cell) in assignments.iter().enumerate() {
+            let c = coarse.centroids().get(cell);
             let r: Vec<f32> = base.get(i).iter().zip(c).map(|(x, y)| x - y).collect();
             residuals.push(&r);
         }

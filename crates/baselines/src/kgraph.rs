@@ -11,6 +11,7 @@ use nsg_core::index::{AnnIndex, SearchQuality};
 use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +22,14 @@ use std::sync::Arc;
 pub struct KGraphParams {
     /// kNN-graph construction parameters (the graph's `k` is its out-degree).
     pub knn: NnDescentParams,
-    /// Number of random entry points seeded into the pool per query.
+    /// Minimum number of random entry points seeded into the pool per query.
+    /// The search always draws at least the pool size `l`: a directed kNN
+    /// graph has regions with no incoming edges from outside (poor
+    /// connectivity is exactly the weakness Table 4 of the paper documents),
+    /// so a handful of fixed entries can leave whole clusters unreachable.
+    /// Filling the initial pool with random points is what the released
+    /// KGraph/Efanna searches do, and is why Figure 8 charges KGraph a large
+    /// distance-computation budget per query.
     pub num_entry_points: usize,
     /// RNG seed for entry-point selection.
     pub seed: u64,
@@ -67,20 +75,21 @@ impl<D: Distance + Sync> KGraphIndex<D> {
 
     /// Random entry points for one query (deterministic per query content via
     /// a per-call RNG seeded from the index seed).
-    fn entry_points(&self, salt: u64) -> Vec<u32> {
+    fn entry_points(&self, salt: u64, pool_size: usize) -> Vec<u32> {
         let n = self.base.len();
         if n == 0 {
             return Vec::new();
         }
         let mut rng = StdRng::seed_from_u64(self.params.seed ^ salt);
-        (0..self.params.num_entry_points.max(1))
+        let count = self.params.num_entry_points.max(pool_size).max(1);
+        (0..count)
             .map(|_| rng.random_range(0..n as u32))
             .collect()
     }
 
     /// Search with instrumentation (used by the distance-counting experiment).
     pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let starts = self.entry_points(pool_size as u64);
+        let starts = self.entry_points(query_salt(query) ^ pool_size as u64, pool_size);
         search_on_graph(
             &self.graph,
             &self.base,

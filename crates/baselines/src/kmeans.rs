@@ -82,10 +82,10 @@ impl KMeans {
             };
             centroids.push(data.get(next));
             let new_c = centroids.len() - 1;
-            for i in 0..n {
+            for (i, md) in min_dist.iter_mut().enumerate() {
                 let d = squared_l2(data.get(i), centroids.get(new_c));
-                if d < min_dist[i] {
-                    min_dist[i] = d;
+                if d < *md {
+                    *md = d;
                 }
             }
         }

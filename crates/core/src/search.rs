@@ -74,10 +74,16 @@ pub struct VisitedSet {
 
 impl VisitedSet {
     /// Creates a visited set covering `n` nodes.
+    ///
+    /// The starting epoch is 1 while marks start at 0, so a fresh set reports
+    /// every node as unvisited even if the caller never calls
+    /// [`next_epoch`](Self::next_epoch). (With epoch 0 a fresh set would
+    /// claim *everything* was already visited, silently emptying the first
+    /// search of any caller that forgot the initial `next_epoch()`.)
     pub fn new(n: usize) -> Self {
         Self {
             marks: vec![0; n],
-            epoch: 0,
+            epoch: 1,
         }
     }
 
@@ -105,6 +111,7 @@ impl VisitedSet {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // private plumbing shared by the two public search variants
 fn run_search<D: Distance + ?Sized>(
     graph: &DirectedGraph,
     base: &VectorSet,
@@ -350,6 +357,19 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), collected.len());
+    }
+
+    #[test]
+    fn fresh_visited_set_reports_nothing_visited() {
+        // Regression test: a freshly constructed set must not claim any node
+        // was already visited, even before the first next_epoch() call.
+        let mut v = VisitedSet::new(4);
+        for id in 0..4 {
+            assert!(!v.contains(id), "fresh set claims node {id} visited");
+        }
+        assert!(v.insert(2), "insert into a fresh set must succeed");
+        assert!(v.contains(2));
+        assert!(!v.contains(3));
     }
 
     #[test]

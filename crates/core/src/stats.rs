@@ -231,9 +231,9 @@ mod tests {
         // A ring plus random chords is strongly connected by construction.
         let n = 200;
         let mut adjacency = vec![Vec::new(); n];
-        for v in 0..n {
-            adjacency[v].push(((v + 1) % n) as u32);
-            adjacency[v].push(((v * 7 + 3) % n) as u32);
+        for (v, list) in adjacency.iter_mut().enumerate() {
+            list.push(((v + 1) % n) as u32);
+            list.push(((v * 7 + 3) % n) as u32);
         }
         let g = DirectedGraph::from_adjacency(adjacency);
         assert_eq!(strongly_connected_components(&g), 1);

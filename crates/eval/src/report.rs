@@ -124,7 +124,8 @@ mod tests {
     }
 
     #[test]
-    fn fmt_f64_truncates() {
-        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+    fn fmt_f64_rounds_to_requested_digits() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(1.239, 2), "1.24");
     }
 }

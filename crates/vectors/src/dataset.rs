@@ -55,7 +55,7 @@ impl VectorSet {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim

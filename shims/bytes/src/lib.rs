@@ -1,0 +1,201 @@
+//! Offline stand-in for [bytes](https://crates.io/crates/bytes).
+//!
+//! Implements exactly the surface `nsg-core::serialize` consumes: a `Buf`
+//! trait over `&[u8]` for cursor-style little-endian reads, a `BufMut` trait
+//! with little-endian writes, and `BytesMut` → `Bytes` freezing. Backed by
+//! plain `Vec<u8>`/`Arc` storage rather than bytes' refcounted slabs — the
+//! semantics the serializer relies on are identical.
+
+use std::ops::Deref;
+
+/// Cursor-style sequential reads, mirroring `bytes::Buf`.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    fn chunk(&self) -> &[u8];
+
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow reading u32");
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer underflow reading u64");
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Sequential appends, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Converts the mutable buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            inner: self.inner.into(),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Cheaply cloneable immutable byte buffer, mirroring `bytes::Bytes`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    inner: std::sync::Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { inner: data.into() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { inner: v.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u32_le(7);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 8);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u32_le(), 7);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 0, 0, 0, 2];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.get_u32_le(), 1);
+        assert_eq!(cursor.get_u8(), 2);
+        assert!(!cursor.has_remaining());
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop that
+//! prints a mean ns/iter per benchmark. No statistics, plots, or CLI beyond
+//! ignoring the arguments cargo passes to bench binaries.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// Named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.effective_sample_size(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.effective_sample_size();
+        let mut adapter = |b: &mut Bencher| f(b, input);
+        run_one(&label, samples, &mut adapter);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+}
+
+/// Benchmark identifier composed of a function name and a parameter,
+/// mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iterations += self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        total_nanos: 0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iterations == 0 {
+        0
+    } else {
+        bencher.total_nanos / bencher.iterations as u128
+    };
+    println!("bench {label:<50} {mean:>12} ns/iter ({} iters)", bencher.iterations);
+}
+
+/// Mirrors `criterion::criterion_group!` in both its list and
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!` — generates `main`, ignoring the
+/// arguments cargo passes to bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut criterion = Criterion::default().sample_size(5);
+        sample_bench(&mut criterion);
+        criterion.bench_function("top_level", |b| b.iter(|| black_box(0u8)));
+    }
+
+    criterion_group!(quick, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench,
+    }
+
+    #[test]
+    fn groups_are_callable() {
+        quick();
+        configured();
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! subset of rayon's API the workspace uses — `par_iter` / `into_par_iter`
+//! from the prelude — implemented **sequentially** on top of the standard
+//! iterator machinery. Because the "parallel" iterators are real `std`
+//! iterators, every adapter (`map`, `filter`, `for_each`, `collect`, …)
+//! works unchanged, and swapping the real rayon back in is a manifest-only
+//! change.
+
+/// Runs two closures (sequentially here; in parallel in real rayon) and
+/// returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Returns the number of "worker threads" — always 1 in the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod iter {
+    /// Anything that can be turned into an iterator can be turned into a
+    /// "parallel" iterator. The iterator returned is the plain sequential one.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` — borrow-based variant, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: ?Sized + 'data> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — mutable-borrow variant, mirroring
+    /// `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: ?Sized + 'data> IntoParallelRefMutIterator<'data> for T
+    where
+        &'data mut T: IntoIterator,
+    {
+        type Iter = <&'data mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+        let r: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}

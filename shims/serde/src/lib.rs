@@ -1,0 +1,26 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and result
+//! structs but never feeds them to a real serializer (the binary index format
+//! in `nsg-core::serialize` is hand-rolled). This shim keeps the derive
+//! surface compiling: marker traits plus no-op derive macros re-exported from
+//! the sibling `serde_derive` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

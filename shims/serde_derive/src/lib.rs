@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker on
+//! plain-old-data types (no `serde_json`/`bincode` consumer exists in the
+//! offline image), so these derives expand to nothing. The `serde` helper
+//! attribute is accepted and ignored so annotated fields still parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
