@@ -8,15 +8,15 @@
 //! resulting maximum out-degree is very large (Table 2), which is exactly what
 //! the reverse-compensation step produces on skewed data.
 
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
-use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::search_from_context_entries;
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the DPG baseline.
@@ -24,7 +24,9 @@ use std::sync::Arc;
 pub struct DpgParams {
     /// kNN-graph construction parameters; DPG keeps `knn.k / 2` edges.
     pub knn: NnDescentParams,
-    /// Number of random entry points per query.
+    /// Minimum number of random entry points per query. As with KGraph, the
+    /// search draws at least the pool size `l` random entries, matching the
+    /// released random-init searches and keeping distant clusters seeded.
     pub num_entry_points: usize,
     /// RNG seed for entry-point selection.
     pub seed: u64,
@@ -131,27 +133,6 @@ impl<D: Distance + Sync> DpgIndex<D> {
         Self { base, metric, graph, params }
     }
 
-    /// Search with instrumentation.
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let n = self.base.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ query_salt(query) ^ pool_size as u64);
-        let starts: Vec<u32> = if n == 0 {
-            Vec::new()
-        } else {
-            (0..self.params.num_entry_points.max(1))
-                .map(|_| rng.random_range(0..n as u32))
-                .collect()
-        };
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &starts,
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
-    }
-
     /// The diversified graph (for Table 2 / Table 4 statistics).
     pub fn graph(&self) -> &DirectedGraph {
         &self.graph
@@ -159,8 +140,24 @@ impl<D: Distance + Sync> DpgIndex<D> {
 }
 
 impl<D: Distance + Sync> AnnIndex for DpgIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let params = request.params();
+        ctx.fill_random_entries(
+            self.base.len(),
+            self.params.num_entry_points.max(params.pool_size),
+            self.params.seed,
+            query_salt(query) ^ params.pool_size as u64,
+        );
+        search_from_context_entries(&self.graph, &self.base, query, params, &self.metric, ctx)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -189,11 +186,35 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = DpgIndex::build(Arc::clone(&base), SquaredEuclidean, DpgParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(200))
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 10);
         assert!(p > 0.85, "DPG precision too low: {p}");
+    }
+
+    #[test]
+    fn random_pool_initialization_keeps_clustered_self_queries_findable() {
+        // Connectivity regression (ROADMAP open item): DPG now uses the same
+        // pool-filling salted random initialization as KGraph.
+        let (base, _) = base_and_queries(SyntheticKind::EcommerceLike, 1500, 1, 73);
+        let base = Arc::new(base);
+        let index = DpgIndex::build(Arc::clone(&base), SquaredEuclidean, DpgParams::default());
+        let request = SearchRequest::new(1).with_effort(80);
+        let mut ctx = index.new_context();
+        let mut hits = 0;
+        let mut tried = 0;
+        for v in (0..base.len()).step_by(100) {
+            tried += 1;
+            if nsg_core::neighbor::ids(index.search_into(&mut ctx, &request, base.get(v)))
+                == vec![v as u32]
+            {
+                hits += 1;
+            }
+        }
+        assert!(hits >= tried - 2, "only {hits}/{tried} self-queries found on clustered data");
     }
 
     #[test]
@@ -236,5 +257,6 @@ mod tests {
         let index = DpgIndex::build(Arc::clone(&base), SquaredEuclidean, DpgParams::default());
         assert_eq!(index.memory_bytes(), index.graph().memory_bytes_exact());
         assert_eq!(index.name(), "DPG");
+        assert_eq!(index.search(base.get(0), &SearchRequest::new(1).with_effort(50))[0].id, 0);
     }
 }

@@ -7,9 +7,11 @@
 //! large index (graph + trees) in Table 2 and Table 3.
 
 use crate::kdtree::{KdForest, KdForestParams};
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
-use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::search_from_context_entries;
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
@@ -66,23 +68,6 @@ impl<D: Distance + Sync + Clone> EfannaIndex<D> {
         }
     }
 
-    /// Search with instrumentation: KD-tree descent provides the entry points,
-    /// then Algorithm 1 runs on the kNN graph.
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let entries = self
-            .forest
-            .candidates(query, self.params.num_entry_points.max(1));
-        let starts: Vec<u32> = if entries.is_empty() { vec![0] } else { entries };
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &starts,
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
-    }
-
     /// The kNN graph component (for Table 2 / Table 4 statistics).
     pub fn graph(&self) -> &DirectedGraph {
         &self.graph
@@ -90,8 +75,25 @@ impl<D: Distance + Sync + Clone> EfannaIndex<D> {
 }
 
 impl<D: Distance + Sync + Clone> AnnIndex for EfannaIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        // KD-tree descent fills the entry scratch with data-dependent starts.
+        let mut entries = std::mem::take(&mut ctx.entries);
+        self.forest
+            .candidates_into(query, self.params.num_entry_points.max(1), &mut entries);
+        if entries.is_empty() && !self.base.is_empty() {
+            entries.push(0);
+        }
+        ctx.entries = entries;
+        search_from_context_entries(&self.graph, &self.base, query, request.params(), &self.metric, ctx)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -117,8 +119,10 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = EfannaIndex::build(Arc::clone(&base), SquaredEuclidean, EfannaParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(200))
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 10);
         assert!(p > 0.85, "Efanna precision too low: {p}");
@@ -147,8 +151,10 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 1, &SquaredEuclidean);
         let index = EfannaIndex::build(Arc::clone(&base), SquaredEuclidean, EfannaParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 1, SearchQuality::new(20)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(1).with_effort(20))
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 1);
         assert!(p > 0.5, "Efanna with small pool too weak: {p}");

@@ -9,16 +9,16 @@
 //! paper attributes FANNG's weaker performance to exactly these differences
 //! (missing NN edges and non-monotonic paths, §4.1.3 C.4).
 
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
-use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::search_from_context_entries;
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -31,7 +31,10 @@ pub struct FanngParams {
     pub knn: NnDescentParams,
     /// Maximum out-degree kept after occlusion pruning.
     pub max_degree: usize,
-    /// Number of random entry points per query.
+    /// Minimum number of random entry points per query. As with KGraph, the
+    /// search draws at least the pool size `l` random entries: FANNG's pruned
+    /// graph is directed with no connectivity repair, so sparse random
+    /// seeding strands whole regions (Table 4's SCC fragmentation).
     pub num_entry_points: usize,
     /// RNG seed for entry-point selection.
     pub seed: u64,
@@ -80,11 +83,11 @@ impl<D: Distance + Sync> FanngIndex<D> {
                 candidate_ids.sort_unstable();
                 candidate_ids.dedup();
                 candidate_ids.retain(|&id| id as usize != v);
-                let mut candidates: Vec<(u32, f32)> = candidate_ids
+                let mut candidates: Vec<Neighbor> = candidate_ids
                     .into_iter()
-                    .map(|id| (id, metric.distance(vq, base.get(id as usize))))
+                    .map(|id| Neighbor::new(id, metric.distance(vq, base.get(id as usize))))
                     .collect();
-                candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                candidates.sort_unstable_by(Neighbor::ordering);
                 mrng_select(&base, vq, &candidates, params.max_degree.max(1), &metric)
             })
             .collect();
@@ -96,27 +99,6 @@ impl<D: Distance + Sync> FanngIndex<D> {
         }
     }
 
-    /// Search with instrumentation.
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let n = self.base.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ query_salt(query) ^ pool_size as u64);
-        let starts: Vec<u32> = if n == 0 {
-            Vec::new()
-        } else {
-            (0..self.params.num_entry_points.max(1))
-                .map(|_| rng.random_range(0..n as u32))
-                .collect()
-        };
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &starts,
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
-    }
-
     /// The pruned graph (for Table 2 / Table 4 statistics).
     pub fn graph(&self) -> &DirectedGraph {
         &self.graph
@@ -124,8 +106,24 @@ impl<D: Distance + Sync> FanngIndex<D> {
 }
 
 impl<D: Distance + Sync> AnnIndex for FanngIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let params = request.params();
+        ctx.fill_random_entries(
+            self.base.len(),
+            self.params.num_entry_points.max(params.pool_size),
+            self.params.seed,
+            query_salt(query) ^ params.pool_size as u64,
+        );
+        search_from_context_entries(&self.graph, &self.base, query, params, &self.metric, ctx)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -140,6 +138,7 @@ impl<D: Distance + Sync> AnnIndex for FanngIndex<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::metrics::mean_precision;
@@ -151,11 +150,44 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = FanngIndex::build(Arc::clone(&base), SquaredEuclidean, FanngParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(200))
+            .iter()
+            .map(|r| neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 10);
         assert!(p > 0.8, "FANNG precision too low: {p}");
+    }
+
+    #[test]
+    fn random_pool_initialization_reaches_isolated_regions() {
+        // Connectivity regression (ROADMAP open item): FANNG's directed graph
+        // has no repair step, so on clustered data a handful of fixed random
+        // entries can strand whole clusters. The pool-filling initialization
+        // must seed at least `l` entries and keep self-queries findable.
+        let (base, _) = base_and_queries(SyntheticKind::EcommerceLike, 1500, 1, 71);
+        let base = Arc::new(base);
+        let index = FanngIndex::build(Arc::clone(&base), SquaredEuclidean, FanngParams::default());
+        let request = SearchRequest::new(1).with_effort(80).with_stats();
+        let mut ctx = index.new_context();
+        let mut hits = 0;
+        let mut tried = 0;
+        for v in (0..base.len()).step_by(100) {
+            tried += 1;
+            let found = neighbor::ids(index.search_into(&mut ctx, &request, base.get(v)));
+            // The entry scratch survives the search: the pool-filling init
+            // must have seeded at least l = 80 entry points (the direct
+            // regression signal; `visited` would also count expansions).
+            assert!(
+                ctx.entries.len() >= 80,
+                "pool-filling init seeded only {} entries",
+                ctx.entries.len()
+            );
+            if found == vec![v as u32] {
+                hits += 1;
+            }
+        }
+        assert!(hits >= tried - 2, "only {hits}/{tried} self-queries found on clustered data");
     }
 
     #[test]
@@ -183,5 +215,6 @@ mod tests {
         let index = FanngIndex::build(Arc::clone(&base), SquaredEuclidean, FanngParams::default());
         assert_eq!(index.name(), "FANNG");
         assert_eq!(index.memory_bytes(), index.graph().memory_bytes_fixed_degree());
+        assert_eq!(index.search(base.get(0), &SearchRequest::new(1).with_effort(50))[0].id, 0);
     }
 }

@@ -18,10 +18,12 @@
 //! [`AnnIndex::memory_bytes`] accounts for all layers, which is why the
 //! paper's HNSW index is 2–3× larger than the NSG.
 
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
-use nsg_core::neighbor::CandidatePool;
+use nsg_core::neighbor::{CandidatePool, Neighbor};
+use nsg_core::search::{SearchStats, VisitedSet};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
@@ -122,8 +124,8 @@ impl<D: Distance + Sync> HnswIndex<D> {
                     index.link(u, v, layer);
                     index.shrink(u, layer);
                 }
-                if let Some(&(best, _)) = candidates.first() {
-                    ep = best;
+                if let Some(best) = candidates.first() {
+                    ep = best.id;
                 }
             }
             if level > max_level {
@@ -165,19 +167,19 @@ impl<D: Distance + Sync> HnswIndex<D> {
             return;
         }
         let nq = self.base.get(node as usize);
-        let mut candidates: Vec<(u32, f32)> = self.layers[node as usize][layer]
+        let mut candidates: Vec<Neighbor> = self.layers[node as usize][layer]
             .iter()
-            .map(|&u| (u, self.metric.distance(nq, self.base.get(u as usize))))
+            .map(|&u| Neighbor::new(u, self.metric.distance(nq, self.base.get(u as usize))))
             .collect();
-        candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_unstable_by(Neighbor::ordering);
         let kept = mrng_select(&self.base, nq, &candidates, cap, &self.metric);
         self.layers[node as usize][layer] = kept;
     }
 
     /// RNG-style neighbor selection (the "heuristic" of the HNSW paper).
-    fn select_neighbors(&self, query: &[f32], candidates: &[(u32, f32)], m: usize) -> Vec<u32> {
+    fn select_neighbors(&self, query: &[f32], candidates: &[Neighbor], m: usize) -> Vec<u32> {
         let mut sorted = candidates.to_vec();
-        sorted.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        sorted.sort_unstable_by(Neighbor::ordering);
         mrng_select(&self.base, query, &sorted, m, &self.metric)
     }
 
@@ -211,27 +213,50 @@ impl<D: Distance + Sync> HnswIndex<D> {
         }
     }
 
-    /// Best-first search within one layer with an `ef`-sized pool; returns the
-    /// pool contents as `(id, distance)` sorted ascending.
-    fn search_layer(&self, query: &[f32], entries: &[u32], ef: usize, layer: usize) -> Vec<(u32, f32)> {
-        let mut pool = CandidatePool::new(ef.max(1));
-        let mut visited = vec![false; self.base.len()];
+    /// Best-first search within one layer with an `ef`-sized pool, running
+    /// entirely inside the caller's scratch (zero allocation once warm).
+    #[allow(clippy::too_many_arguments)] // private plumbing shared by query and build paths
+    fn search_layer_scratch(
+        &self,
+        query: &[f32],
+        entries: &[u32],
+        ef: usize,
+        layer: usize,
+        visited: &mut VisitedSet,
+        pool: &mut CandidatePool,
+        stats: &mut SearchStats,
+    ) {
+        visited.ensure_capacity(self.base.len());
+        visited.next_epoch();
+        pool.reset(ef.max(1));
         for &e in entries {
-            if !visited[e as usize] {
-                visited[e as usize] = true;
+            if (e as usize) < self.base.len() && visited.insert(e) {
                 pool.insert(e, self.metric.distance(query, self.base.get(e as usize)));
+                stats.distance_computations += 1;
+                stats.visited += 1;
             }
         }
         while let Some(idx) = pool.first_unchecked() {
             let current = pool.mark_checked(idx);
+            stats.hops += 1;
             for &u in self.neighbors_at(current, layer) {
-                if visited[u as usize] {
+                if !visited.insert(u) {
                     continue;
                 }
-                visited[u as usize] = true;
                 pool.insert(u, self.metric.distance(query, self.base.get(u as usize)));
+                stats.distance_computations += 1;
+                stats.visited += 1;
             }
         }
+    }
+
+    /// Allocating convenience over [`search_layer_scratch`](Self::search_layer_scratch)
+    /// used during construction; returns the pool contents sorted ascending.
+    fn search_layer(&self, query: &[f32], entries: &[u32], ef: usize, layer: usize) -> Vec<Neighbor> {
+        let mut visited = VisitedSet::new(self.base.len());
+        let mut pool = CandidatePool::new(ef.max(1));
+        let mut stats = SearchStats::default();
+        self.search_layer_scratch(query, entries, ef, layer, &mut visited, &mut pool, &mut stats);
         pool.top_k(pool.len())
     }
 
@@ -250,26 +275,37 @@ impl<D: Distance + Sync> HnswIndex<D> {
         self.max_level + 1
     }
 
-    /// Full search returning `(id, distance)` pairs plus the number of
-    /// distance evaluations (for the Figure 8 experiment).
-    pub fn search_counted(&self, query: &[f32], k: usize, ef: usize) -> (Vec<(u32, f32)>, u64) {
-        if self.base.is_empty() {
-            return (Vec::new(), 0);
+}
+
+impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        ctx.results.clear();
+        ctx.stats = SearchStats::default();
+        if self.base.is_empty() || request.k == 0 {
+            return &ctx.results;
         }
-        let mut cost = 0u64;
+        // Greedy descent through the upper layers (one distance per examined
+        // neighbor, counted into the stats).
         let mut ep = self.entry_point;
         let mut lc = self.max_level;
         while lc > 0 {
-            // Greedy descent costs one distance per examined neighbor; we fold
-            // it into the counter by re-running with explicit counting.
             let mut current = ep;
             let mut current_dist = self.metric.distance(query, self.base.get(current as usize));
-            cost += 1;
+            ctx.stats.distance_computations += 1;
             loop {
                 let mut improved = false;
                 for &u in self.neighbors_at(current, lc) {
                     let d = self.metric.distance(query, self.base.get(u as usize));
-                    cost += 1;
+                    ctx.stats.distance_computations += 1;
                     if d < current_dist {
                         current_dist = d;
                         current = u;
@@ -279,25 +315,17 @@ impl<D: Distance + Sync> HnswIndex<D> {
                 if !improved {
                     break;
                 }
+                ctx.stats.hops += 1;
             }
             ep = current;
             lc -= 1;
         }
-        let pool = self.search_layer(query, &[ep], ef.max(k).max(1), 0);
-        cost += pool.len() as u64; // distances computed for pooled nodes
-        let mut out = pool;
-        out.truncate(k);
-        (out, cost)
-    }
-}
-
-impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_counted(query, k, quality.effort)
-            .0
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect()
+        // Bottom-layer `ef` search inside the context scratch.
+        let ef = request.quality.effort.max(request.k).max(1);
+        let (visited, pool, stats) = (&mut ctx.visited, &mut ctx.pool, &mut ctx.stats);
+        self.search_layer_scratch(query, &[ep], ef, 0, visited, pool, stats);
+        ctx.pool.top_k_into(request.k, &mut ctx.results);
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -335,8 +363,10 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = HnswIndex::build(Arc::clone(&base), SquaredEuclidean, HnswParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(150)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(150))
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 10);
         assert!(p > 0.9, "HNSW precision too low: {p}");
@@ -368,9 +398,13 @@ mod tests {
         let (base, _) = base_and_queries(SyntheticKind::RandUniform, 800, 1, 67);
         let base = Arc::new(base);
         let index = HnswIndex::build(Arc::clone(&base), SquaredEuclidean, HnswParams::default());
+        let request = SearchRequest::new(1).with_effort(50);
+        let mut ctx = index.new_context();
         let mut hits = 0;
         for v in (0..base.len()).step_by(80) {
-            if index.search(base.get(v), 1, SearchQuality::new(50)) == vec![v as u32] {
+            if nsg_core::neighbor::ids(index.search_into(&mut ctx, &request, base.get(v)))
+                == vec![v as u32]
+            {
                 hits += 1;
             }
         }
@@ -392,8 +426,24 @@ mod tests {
     fn tiny_inputs_build_and_search() {
         let base = Arc::new(nsg_vectors::synthetic::uniform(4, 6, 1));
         let index = HnswIndex::build(Arc::clone(&base), SquaredEuclidean, HnswParams::default());
-        let res = index.search(base.get(1), 2, SearchQuality::new(10));
+        let res = index.search(base.get(1), &SearchRequest::new(2).with_effort(10));
         assert_eq!(res.len(), 2);
-        assert_eq!(res[0], 1);
+        assert_eq!(res[0].id, 1);
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn stats_count_descent_and_bottom_layer_work() {
+        let (base, _) = base_and_queries(SyntheticKind::RandUniform, 1500, 1, 83);
+        let base = Arc::new(base);
+        let index = HnswIndex::build(Arc::clone(&base), SquaredEuclidean, HnswParams::default());
+        let res = index.search_with_stats(base.get(7), &SearchRequest::new(5).with_effort(60));
+        assert_eq!(res.neighbors[0].id, 7);
+        assert!(res.stats.distance_computations >= res.stats.visited);
+        assert!(res.stats.visited >= 60, "ef-sized pool must visit at least ef nodes");
+        assert!(
+            res.stats.distance_computations < base.len() as u64,
+            "HNSW search should touch far fewer points than a scan"
+        );
     }
 }

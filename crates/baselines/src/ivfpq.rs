@@ -19,7 +19,10 @@
 //! behaviour Figure 7 shows.
 
 use crate::kmeans::{KMeans, KMeansParams};
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::SearchStats;
 use nsg_vectors::distance::{squared_l2, Distance};
 use nsg_vectors::VectorSet;
 use std::sync::Arc;
@@ -162,11 +165,14 @@ impl<D: Distance> IvfPq<D> {
     /// together with the number of "distance computations" performed (coarse
     /// centroid distances plus per-candidate ADC evaluations), which is the
     /// cost measure of Figure 8.
-    pub fn adc_candidates(&self, query: &[f32], k: usize, nprobe: usize) -> (Vec<(u32, f32)>, u64) {
+    pub fn adc_candidates(&self, query: &[f32], k: usize, nprobe: usize) -> (Vec<Neighbor>, SearchStats) {
         let nprobe = nprobe.clamp(1, self.coarse.k().max(1));
+        // Coarse assignment scores every centroid (not a base node, so it
+        // counts toward the cost but not toward `visited`).
         let mut cost = self.coarse.k() as u64;
+        let mut scanned = 0u64;
         let probes = self.coarse.assign_top(query, nprobe);
-        let mut scored: Vec<(u32, f32)> = Vec::new();
+        let mut scored: Vec<Neighbor> = Vec::new();
         let num_sub = self.codebooks.len();
         for list_id in probes {
             // Per-list lookup tables of the query residual against every
@@ -186,26 +192,36 @@ impl<D: Distance> IvfPq<D> {
                     d += tables[s][code as usize];
                 }
                 cost += 1;
-                scored.push((posted.id, d));
+                scanned += 1;
+                scored.push(Neighbor::new(posted.id, d));
             }
         }
-        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        scored.sort_unstable_by(Neighbor::ordering);
         scored.truncate(k.max(self.params.rerank));
-        (scored, cost)
+        let stats = SearchStats {
+            distance_computations: cost,
+            hops: 0,
+            visited: scanned,
+        };
+        (scored, stats)
     }
 
-    /// Full search returning ids and the distance-computation count.
-    pub fn search_counted(&self, query: &[f32], k: usize, nprobe: usize) -> (Vec<u32>, u64) {
-        let (mut candidates, mut cost) = self.adc_candidates(query, k, nprobe);
+    /// Full search returning scored neighbors (ADC distances, or exact ones
+    /// when re-ranking is enabled) and the search cost:
+    /// `stats.distance_computations` is the Figure 8 cost measure (coarse +
+    /// ADC + re-rank evaluations), `stats.visited` the number of distinct
+    /// base vectors whose (approximate) distance was evaluated.
+    pub fn search_counted(&self, query: &[f32], k: usize, nprobe: usize) -> (Vec<Neighbor>, SearchStats) {
+        let (mut candidates, mut stats) = self.adc_candidates(query, k, nprobe);
         if self.params.rerank > 0 {
             for cand in candidates.iter_mut() {
-                cand.1 = self.metric.distance(query, self.base.get(cand.0 as usize));
-                cost += 1;
+                cand.dist = self.metric.distance(query, self.base.get(cand.id as usize));
+                stats.distance_computations += 1;
             }
-            candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            candidates.sort_unstable_by(Neighbor::ordering);
         }
         candidates.truncate(k);
-        (candidates.into_iter().map(|(id, _)| id).collect(), cost)
+        (candidates, stats)
     }
 
     /// Number of inverted lists.
@@ -215,8 +231,21 @@ impl<D: Distance> IvfPq<D> {
 }
 
 impl<D: Distance> AnnIndex for IvfPq<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_counted(query, k, quality.effort).0
+    fn new_context(&self) -> SearchContext {
+        SearchContext::new()
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let (neighbors, stats) = self.search_counted(query, request.k, request.quality.effort);
+        ctx.results.clear();
+        ctx.results.extend(neighbors);
+        ctx.stats = stats;
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -234,10 +263,15 @@ impl<D: Distance> AnnIndex for IvfPq<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::metrics::mean_precision;
     use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+
+    fn batch_ids(index: &impl AnnIndex, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<u32>> {
+        index.search_batch(queries, request).iter().map(|r| neighbor::ids(r)).collect()
+    }
 
     fn test_index(n: usize, rerank: usize) -> (Arc<VectorSet>, VectorSet, IvfPq<SquaredEuclidean>) {
         let (base, queries) = base_and_queries(SyntheticKind::SiftLike, n, 20, 7);
@@ -257,12 +291,8 @@ mod tests {
     fn precision_improves_with_more_probes() {
         let (base, queries, index) = test_index(2000, 0);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
-        let few: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(1)))
-            .collect();
-        let many: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(16)))
-            .collect();
+        let few = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(1));
+        let many = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(16));
         let p_few = mean_precision(&few, &gt, 10);
         let p_many = mean_precision(&many, &gt, 10);
         assert!(p_many >= p_few, "precision fell with more probes: {p_few} -> {p_many}");
@@ -274,12 +304,8 @@ mod tests {
         let (base, queries, adc_only) = test_index(2000, 0);
         let (_, _, reranked) = test_index(2000, 100);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
-        let a: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| adc_only.search(queries.get(q), 10, SearchQuality::new(32)))
-            .collect();
-        let b: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| reranked.search(queries.get(q), 10, SearchQuality::new(32)))
-            .collect();
+        let a = batch_ids(&adc_only, &queries, &SearchRequest::new(10).with_effort(32));
+        let b = batch_ids(&reranked, &queries, &SearchRequest::new(10).with_effort(32));
         assert!(mean_precision(&b, &gt, 10) >= mean_precision(&a, &gt, 10));
     }
 
@@ -287,9 +313,7 @@ mod tests {
     fn probing_every_list_with_reranking_is_nearly_exact() {
         let (base, queries, index) = test_index(1200, 400);
         let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 5, SearchQuality::new(index.nlist())))
-            .collect();
+        let results = batch_ids(&index, &queries, &SearchRequest::new(5).with_effort(index.nlist()));
         let p = mean_precision(&results, &gt, 5);
         assert!(p > 0.9, "full-probe reranked IVFPQ should be nearly exact, got {p}");
     }
@@ -297,12 +321,16 @@ mod tests {
     #[test]
     fn distance_count_grows_with_probes() {
         let (base, _, index) = test_index(1500, 0);
-        let (_, c1) = index.search_counted(base.get(0), 10, 1);
-        let (_, c8) = index.search_counted(base.get(0), 10, 8);
-        assert!(c8 > c1);
-        // Probing every list scores every stored code once.
-        let (_, call) = index.search_counted(base.get(0), 10, index.nlist());
-        assert!(call >= base.len() as u64);
+        let (_, s1) = index.search_counted(base.get(0), 10, 1);
+        let (_, s8) = index.search_counted(base.get(0), 10, 8);
+        assert!(s8.distance_computations > s1.distance_computations);
+        assert!(s8.visited > s1.visited);
+        // Probing every list scores every stored code once; `visited` counts
+        // exactly the scanned base vectors, while the full cost also charges
+        // the coarse-centroid table.
+        let (_, sall) = index.search_counted(base.get(0), 10, index.nlist());
+        assert_eq!(sall.visited, base.len() as u64);
+        assert!(sall.distance_computations >= sall.visited + index.nlist() as u64);
     }
 
     #[test]
@@ -327,7 +355,7 @@ mod tests {
     fn tiny_base_builds_and_searches() {
         let base = Arc::new(nsg_vectors::synthetic::uniform(5, 8, 1));
         let index = IvfPq::build(Arc::clone(&base), SquaredEuclidean, IvfPqParams::default());
-        let res = index.search(base.get(2), 3, SearchQuality::new(64));
+        let res = index.search(base.get(2), &SearchRequest::new(3).with_effort(64));
         assert_eq!(res.len(), 3);
     }
 }

@@ -8,7 +8,9 @@
 //! branches and stops after checking a caller-controlled number of points
 //! (the `SearchQuality` effort), exactly the "checks" knob of FLANN.
 
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
@@ -202,24 +204,31 @@ impl<D: Distance> KdForest<D> {
     }
 
     /// Returns the candidate ids visited while checking roughly
-    /// `max_checks` points across the forest (FLANN's "checks" parameter),
-    /// together with the number of points actually examined.
+    /// `max_checks` points across the forest (FLANN's "checks" parameter).
     pub fn candidates(&self, query: &[f32], max_checks: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(max_checks.max(16));
+        self.candidates_into(query, max_checks, &mut out);
+        out
+    }
+
+    /// [`candidates`](Self::candidates) into a caller-provided buffer, so a
+    /// reused [`SearchContext`] entry scratch avoids a per-query candidate
+    /// allocation (the branch queue itself remains per-call).
+    pub fn candidates_into(&self, query: &[f32], max_checks: usize, out: &mut Vec<u32>) {
+        out.clear();
         let mut heap: BinaryHeap<Reverse<Branch>> = BinaryHeap::new();
-        let mut out: Vec<u32> = Vec::with_capacity(max_checks.max(16));
         for t in 0..self.trees.len() {
-            self.descend(t, query, &mut heap, &mut out, self.trees[t].root);
+            self.descend(t, query, &mut heap, out, self.trees[t].root);
             if out.len() >= max_checks {
                 break;
             }
         }
         while out.len() < max_checks {
             let Some(Reverse(branch)) = heap.pop() else { break };
-            self.descend(branch.tree, query, &mut heap, &mut out, branch.node);
+            self.descend(branch.tree, query, &mut heap, out, branch.node);
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// The forest parameters.
@@ -229,15 +238,22 @@ impl<D: Distance> KdForest<D> {
 }
 
 impl<D: Distance> AnnIndex for KdForest<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        let candidates = self.candidates(query, quality.effort.max(k));
-        let mut scored: Vec<(u32, f32)> = candidates
-            .into_iter()
-            .map(|id| (id, self.metric.distance(query, self.base.get(id as usize))))
-            .collect();
-        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        scored.truncate(k);
-        scored.into_iter().map(|(id, _)| id).collect()
+    fn new_context(&self) -> SearchContext {
+        SearchContext::new()
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let checks = request.quality.effort.max(request.k);
+        let mut entries = std::mem::take(&mut ctx.entries);
+        self.candidates_into(query, checks, &mut entries);
+        ctx.entries = entries;
+        ctx.rerank_entries(&self.base, &self.metric, query, request.k);
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -262,10 +278,15 @@ impl<D: Distance> AnnIndex for KdForest<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::metrics::mean_precision;
     use nsg_vectors::synthetic::uniform;
+
+    fn batch_ids(index: &impl AnnIndex, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<u32>> {
+        index.search_batch(queries, request).iter().map(|r| neighbor::ids(r)).collect()
+    }
 
     #[test]
     fn full_checks_recover_exact_neighbors() {
@@ -273,9 +294,7 @@ mod tests {
         let queries = uniform(20, 8, 4);
         let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
         let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| forest.search(queries.get(q), 5, SearchQuality::new(500)))
-            .collect();
+        let results = batch_ids(&forest, &queries, &SearchRequest::new(5).with_effort(500));
         assert_eq!(mean_precision(&results, &gt, 5), 1.0);
     }
 
@@ -285,12 +304,8 @@ mod tests {
         let queries = uniform(30, 16, 8);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
-        let few: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| forest.search(queries.get(q), 10, SearchQuality::new(50)))
-            .collect();
-        let many: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| forest.search(queries.get(q), 10, SearchQuality::new(1000)))
-            .collect();
+        let few = batch_ids(&forest, &queries, &SearchRequest::new(10).with_effort(50));
+        let many = batch_ids(&forest, &queries, &SearchRequest::new(10).with_effort(1000));
         let p_few = mean_precision(&few, &gt, 10);
         let p_many = mean_precision(&many, &gt, 10);
         assert!(p_many >= p_few);
@@ -312,7 +327,7 @@ mod tests {
         // All points identical: the degenerate-split guard must terminate.
         let base = Arc::new(VectorSet::from_rows(3, &[[1.0, 1.0, 1.0]; 64]));
         let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
-        let res = forest.search(&[1.0, 1.0, 1.0], 3, SearchQuality::new(64));
+        let res = forest.search(&[1.0, 1.0, 1.0], &SearchRequest::new(3).with_effort(64));
         assert_eq!(res.len(), 3);
     }
 
@@ -320,8 +335,9 @@ mod tests {
     fn tiny_base_is_handled() {
         let base = Arc::new(uniform(3, 4, 1));
         let forest = KdForest::build(Arc::clone(&base), SquaredEuclidean, KdForestParams::default());
-        let res = forest.search(base.get(1), 5, SearchQuality::new(10));
+        let res = forest.search(base.get(1), &SearchRequest::new(5).with_effort(10));
         assert_eq!(res.len(), 3);
-        assert_eq!(res[0], 1);
+        assert_eq!(res[0].id, 1);
+        assert_eq!(res[0].dist, 0.0);
     }
 }

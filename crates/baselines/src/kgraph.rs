@@ -6,15 +6,15 @@
 //! — which is why the paper reports KGraph's optimal degree in the hundreds
 //! and a correspondingly large index.
 
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
-use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::search_from_context_entries;
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the KGraph baseline.
@@ -73,33 +73,6 @@ impl<D: Distance + Sync> KGraphIndex<D> {
         }
     }
 
-    /// Random entry points for one query (deterministic per query content via
-    /// a per-call RNG seeded from the index seed).
-    fn entry_points(&self, salt: u64, pool_size: usize) -> Vec<u32> {
-        let n = self.base.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ salt);
-        let count = self.params.num_entry_points.max(pool_size).max(1);
-        (0..count)
-            .map(|_| rng.random_range(0..n as u32))
-            .collect()
-    }
-
-    /// Search with instrumentation (used by the distance-counting experiment).
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let starts = self.entry_points(query_salt(query) ^ pool_size as u64, pool_size);
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &starts,
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
-    }
-
     /// The underlying graph (for Table 2 / Table 4 statistics).
     pub fn graph(&self) -> &DirectedGraph {
         &self.graph
@@ -107,8 +80,25 @@ impl<D: Distance + Sync> KGraphIndex<D> {
 }
 
 impl<D: Distance + Sync> AnnIndex for KGraphIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let params = request.params();
+        // Pool-filling random initialization (deterministic per query content).
+        ctx.fill_random_entries(
+            self.base.len(),
+            self.params.num_entry_points.max(params.pool_size),
+            self.params.seed,
+            query_salt(query) ^ params.pool_size as u64,
+        );
+        search_from_context_entries(&self.graph, &self.base, query, params, &self.metric, ctx)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -123,6 +113,7 @@ impl<D: Distance + Sync> AnnIndex for KGraphIndex<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::metrics::mean_precision;
@@ -134,8 +125,10 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, KGraphParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(200))
+            .iter()
+            .map(|r| neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 10);
         assert!(p > 0.85, "KGraph precision too low: {p}");
@@ -159,9 +152,11 @@ mod tests {
         let (base, _) = base_and_queries(SyntheticKind::RandUniform, 1200, 1, 5);
         let base = Arc::new(base);
         let index = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, KGraphParams::default());
+        let request = SearchRequest::new(1).with_effort(60);
+        let mut ctx = index.new_context();
         let mut hits = 0;
         for v in (0..base.len()).step_by(100) {
-            if index.search(base.get(v), 1, SearchQuality::new(60)) == vec![v as u32] {
+            if neighbor::ids(index.search_into(&mut ctx, &request, base.get(v))) == vec![v as u32] {
                 hits += 1;
             }
         }

@@ -8,7 +8,9 @@
 //! candidate budget (`SearchQuality::effort`) is exhausted; candidates are
 //! re-ranked with exact distances.
 
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
@@ -127,8 +129,17 @@ impl<D: Distance> LshIndex<D> {
     /// distance from the query's bucket until `max_candidates` candidates are
     /// gathered (or probes are exhausted).
     pub fn candidates(&self, query: &[f32], max_candidates: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(max_candidates);
+        self.candidates_into(query, max_candidates, &mut out);
+        out
+    }
+
+    /// [`candidates`](Self::candidates) into a caller-provided buffer, so a
+    /// reused [`SearchContext`] entry scratch avoids the per-query candidate
+    /// allocation (the centering scratch remains per-call).
+    pub fn candidates_into(&self, query: &[f32], max_candidates: usize, out: &mut Vec<u32>) {
+        out.clear();
         let centered = self.centered(query);
-        let mut out: Vec<u32> = Vec::with_capacity(max_candidates);
         // Probe sequence: exact bucket, then all 1-bit flips, then 2-bit flips.
         for radius in 0..=2u32 {
             for table in &self.tables {
@@ -172,20 +183,26 @@ impl<D: Distance> LshIndex<D> {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 }
 
 impl<D: Distance> AnnIndex for LshIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        let candidates = self.candidates(query, quality.effort.max(k));
-        let mut scored: Vec<(u32, f32)> = candidates
-            .into_iter()
-            .map(|id| (id, self.metric.distance(query, self.base.get(id as usize))))
-            .collect();
-        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        scored.truncate(k);
-        scored.into_iter().map(|(id, _)| id).collect()
+    fn new_context(&self) -> SearchContext {
+        SearchContext::new()
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let budget = request.quality.effort.max(request.k);
+        let mut entries = std::mem::take(&mut ctx.entries);
+        self.candidates_into(query, budget, &mut entries);
+        ctx.entries = entries;
+        ctx.rerank_entries(&self.base, &self.metric, query, request.k);
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -206,10 +223,15 @@ impl<D: Distance> AnnIndex for LshIndex<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::metrics::mean_precision;
     use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+
+    fn batch_ids(index: &impl AnnIndex, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<u32>> {
+        index.search_batch(queries, request).iter().map(|r| neighbor::ids(r)).collect()
+    }
 
     #[test]
     fn lsh_beats_random_guessing_and_improves_with_effort() {
@@ -217,12 +239,8 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = LshIndex::build(Arc::clone(&base), SquaredEuclidean, LshParams::default());
-        let low: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(50)))
-            .collect();
-        let high: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(1500)))
-            .collect();
+        let low = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(50));
+        let high = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(1500));
         let p_low = mean_precision(&low, &gt, 10);
         let p_high = mean_precision(&high, &gt, 10);
         assert!(p_high >= p_low, "precision fell with more probes: {p_low} -> {p_high}");
@@ -245,10 +263,12 @@ mod tests {
         let (base, _) = base_and_queries(SyntheticKind::DeepLike, 800, 1, 9);
         let base = Arc::new(base);
         let index = LshIndex::build(Arc::clone(&base), SquaredEuclidean, LshParams::default());
+        let request = SearchRequest::new(1).with_effort(400);
+        let mut ctx = index.new_context();
         let mut hits = 0;
         for v in (0..base.len()).step_by(80) {
-            let res = index.search(base.get(v), 1, SearchQuality::new(400));
-            if res == vec![v as u32] {
+            let res = index.search_into(&mut ctx, &request, base.get(v));
+            if neighbor::ids(res) == vec![v as u32] {
                 hits += 1;
             }
         }
@@ -259,9 +279,9 @@ mod tests {
     fn tiny_base_is_handled() {
         let base = Arc::new(nsg_vectors::synthetic::uniform(4, 8, 1));
         let index = LshIndex::build(Arc::clone(&base), SquaredEuclidean, LshParams::default());
-        let res = index.search(base.get(0), 10, SearchQuality::new(100));
+        let res = index.search(base.get(0), &SearchRequest::new(10).with_effort(100));
         assert!(!res.is_empty());
-        assert_eq!(res[0], 0);
+        assert_eq!(res[0].id, 0);
     }
 
     #[test]

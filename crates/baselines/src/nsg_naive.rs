@@ -6,16 +6,16 @@
 //! uses it to demonstrate that the search-collect-select step and the
 //! connectivity guarantee are what make the NSG a good MRNG approximation.
 
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
-use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::search_from_context_entries;
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -68,8 +68,8 @@ impl<D: Distance + Sync> NsgNaiveIndex<D> {
         let adjacency: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
             .map(|v| {
-                let candidates: Vec<(u32, f32)> =
-                    knn.neighbors(v as u32).iter().map(|nb| (nb.id, nb.dist)).collect();
+                let candidates: Vec<Neighbor> =
+                    knn.neighbors(v as u32).iter().map(|nb| Neighbor::new(nb.id, nb.dist)).collect();
                 mrng_select(&base, base.get(v), &candidates, params.max_degree.max(1), &metric)
             })
             .collect();
@@ -81,27 +81,6 @@ impl<D: Distance + Sync> NsgNaiveIndex<D> {
         }
     }
 
-    /// Search with instrumentation (random initialization, as in the paper).
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let n = self.base.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ query_salt(query) ^ pool_size as u64);
-        let starts: Vec<u32> = if n == 0 {
-            Vec::new()
-        } else {
-            (0..self.params.num_entry_points.max(pool_size).max(1))
-                .map(|_| rng.random_range(0..n as u32))
-                .collect()
-        };
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &starts,
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
-    }
-
     /// The pruned graph (for the ablation's statistics).
     pub fn graph(&self) -> &DirectedGraph {
         &self.graph
@@ -109,8 +88,24 @@ impl<D: Distance + Sync> NsgNaiveIndex<D> {
 }
 
 impl<D: Distance + Sync> AnnIndex for NsgNaiveIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let params = request.params();
+        ctx.fill_random_entries(
+            self.base.len(),
+            self.params.num_entry_points.max(params.pool_size),
+            self.params.seed,
+            query_salt(query) ^ params.pool_size as u64,
+        );
+        search_from_context_entries(&self.graph, &self.base, query, params, &self.metric, ctx)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -125,10 +120,15 @@ impl<D: Distance + Sync> AnnIndex for NsgNaiveIndex<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::metrics::mean_precision;
     use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+
+    fn batch_ids(index: &impl AnnIndex, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<u32>> {
+        index.search_batch(queries, request).iter().map(|r| neighbor::ids(r)).collect()
+    }
 
     #[test]
     fn naive_pruning_searches_reasonably_but_below_full_nsg() {
@@ -137,9 +137,8 @@ mod tests {
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
 
         let naive = NsgNaiveIndex::build(Arc::clone(&base), SquaredEuclidean, NsgNaiveParams::default());
-        let naive_results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| naive.search(queries.get(q), 10, SearchQuality::new(150)))
-            .collect();
+        let request = SearchRequest::new(10).with_effort(150);
+        let naive_results = batch_ids(&naive, &queries, &request);
         let p_naive = mean_precision(&naive_results, &gt, 10);
 
         let nsg = nsg_core::nsg::NsgIndex::build(
@@ -151,9 +150,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let nsg_results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| nsg.search(queries.get(q), 10, SearchQuality::new(150)))
-            .collect();
+        let nsg_results = batch_ids(&nsg, &queries, &request);
         let p_nsg = mean_precision(&nsg_results, &gt, 10);
 
         assert!(p_naive > 0.6, "NSG-Naive precision unexpectedly low: {p_naive}");

@@ -7,9 +7,11 @@
 //! paper discusses NSW as the predecessor of HNSW whose degree grows too
 //! large and whose connectivity is fragile — behaviour reproduced here.
 
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
-use nsg_core::index::{AnnIndex, SearchQuality};
-use nsg_core::search::{search_on_graph, SearchParams, SearchResult};
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::{search_from_context_entries, search_on_graph, SearchParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::sample::query_salt;
 use nsg_vectors::VectorSet;
@@ -24,7 +26,10 @@ pub struct NswParams {
     pub m: usize,
     /// Candidate pool size of the insertion-time search.
     pub ef_construction: usize,
-    /// Number of random entry points per query.
+    /// Minimum number of random entry points per query. As with KGraph, the
+    /// search draws at least the pool size `l` random entries (the original
+    /// NSW runs multiple restarts for the same reason: single-entry greedy
+    /// search on a small world gets stuck in local minima).
     pub num_entry_points: usize,
     /// RNG seed.
     pub seed: u64,
@@ -79,35 +84,13 @@ impl<D: Distance + Sync> NswIndex<D> {
                 SearchParams::new(params.ef_construction.max(params.m), params.m.max(1)),
                 &metric,
             );
-            for &u in result.ids.iter().take(params.m.max(1)) {
-                graph.add_edge(v, u);
-                graph.add_edge(u, v);
+            for nb in result.neighbors.iter().take(params.m.max(1)) {
+                graph.add_edge(v, nb.id);
+                graph.add_edge(nb.id, v);
             }
             inserted.push(v);
         }
         Self { base, metric, graph, params }
-    }
-
-    /// Search with instrumentation (random entry points, as in the original
-    /// multi-search NSW procedure).
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        let n = self.base.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xABCD ^ query_salt(query) ^ pool_size as u64);
-        let starts: Vec<u32> = if n == 0 {
-            Vec::new()
-        } else {
-            (0..self.params.num_entry_points.max(1))
-                .map(|_| rng.random_range(0..n as u32))
-                .collect()
-        };
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &starts,
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
     }
 
     /// The small-world graph (for Table 2 / Table 4 statistics).
@@ -117,8 +100,24 @@ impl<D: Distance + Sync> NswIndex<D> {
 }
 
 impl<D: Distance + Sync> AnnIndex for NswIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let params = request.params();
+        ctx.fill_random_entries(
+            self.base.len(),
+            self.params.num_entry_points.max(params.pool_size),
+            self.params.seed ^ 0xABCD,
+            query_salt(query) ^ params.pool_size as u64,
+        );
+        search_from_context_entries(&self.graph, &self.base, query, params, &self.metric, ctx)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -144,11 +143,36 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, NswParams::default());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
+        let results: Vec<Vec<u32>> = index
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(200))
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
             .collect();
         let p = mean_precision(&results, &gt, 10);
         assert!(p > 0.8, "NSW precision too low: {p}");
+    }
+
+    #[test]
+    fn random_pool_initialization_keeps_clustered_self_queries_findable() {
+        // Connectivity regression (ROADMAP open item): NSW now uses the same
+        // pool-filling salted random initialization as KGraph, standing in
+        // for the original algorithm's multi-restart searches.
+        let (base, _) = base_and_queries(SyntheticKind::EcommerceLike, 1200, 1, 77);
+        let base = Arc::new(base);
+        let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, NswParams::default());
+        let request = SearchRequest::new(1).with_effort(80);
+        let mut ctx = index.new_context();
+        let mut hits = 0;
+        let mut tried = 0;
+        for v in (0..base.len()).step_by(80) {
+            tried += 1;
+            if nsg_core::neighbor::ids(index.search_into(&mut ctx, &request, base.get(v)))
+                == vec![v as u32]
+            {
+                hits += 1;
+            }
+        }
+        assert!(hits >= tried - 2, "only {hits}/{tried} self-queries found on clustered data");
     }
 
     #[test]
@@ -178,8 +202,9 @@ mod tests {
     fn tiny_inputs_build_and_search() {
         let base = Arc::new(nsg_vectors::synthetic::uniform(3, 4, 1));
         let index = NswIndex::build(Arc::clone(&base), SquaredEuclidean, NswParams::default());
-        let res = index.search(base.get(0), 2, SearchQuality::new(10));
+        let res = index.search(base.get(0), &SearchRequest::new(2).with_effort(10));
         assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, 0);
         assert_eq!(index.name(), "NSW");
     }
 }

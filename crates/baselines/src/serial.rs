@@ -1,8 +1,10 @@
 //! Serial scan baseline (exact search by scanning the base data).
 
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::SearchStats;
 use nsg_vectors::distance::Distance;
-use nsg_vectors::ground_truth::exact_knn_single;
 use nsg_vectors::VectorSet;
 
 /// The "Serial Scan" baseline of Figure 6 / Table 5: an exact linear scan.
@@ -28,8 +30,35 @@ impl<D: Distance> SerialScan<D> {
 }
 
 impl<D: Distance> AnnIndex for SerialScan<D> {
-    fn search(&self, query: &[f32], k: usize, _quality: SearchQuality) -> Vec<u32> {
-        exact_knn_single(&self.base, query, k, &self.metric).0
+    fn new_context(&self) -> SearchContext {
+        SearchContext::new()
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let n = self.base.len();
+        ctx.results.clear();
+        ctx.stats = SearchStats::default();
+        if n == 0 || request.k == 0 {
+            return &ctx.results;
+        }
+        ctx.stats = SearchStats {
+            distance_computations: n as u64,
+            hops: 0,
+            visited: n as u64,
+        };
+        // A bounded pool of the best k seen so far (same tie-breaking as the
+        // ground-truth scan: ascending distance, then id).
+        ctx.pool.reset(request.k.min(n));
+        for (i, v) in self.base.iter().enumerate() {
+            ctx.pool.insert(i as u32, self.metric.distance(query, v));
+        }
+        ctx.pool.top_k_into(request.k, &mut ctx.results);
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -44,6 +73,7 @@ impl<D: Distance> AnnIndex for SerialScan<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::synthetic::uniform;
 
@@ -53,9 +83,13 @@ mod tests {
         let queries = uniform(10, 8, 2);
         let gt = nsg_vectors::ground_truth::exact_knn(&base, &queries, 5, &SquaredEuclidean);
         let index = SerialScan::new(base, SquaredEuclidean);
+        let mut ctx = index.new_context();
         for q in 0..queries.len() {
-            let got = index.search(queries.get(q), 5, SearchQuality::default());
-            assert_eq!(got, gt.neighbors[q]);
+            let got = index.search_into(&mut ctx, &SearchRequest::new(5), queries.get(q));
+            assert_eq!(neighbor::ids(got), gt.neighbors[q]);
+            let dists: Vec<f32> = got.iter().map(|nb| nb.dist).collect();
+            assert_eq!(dists, gt.distances[q], "distances must match the ground truth");
+            assert_eq!(ctx.stats().distance_computations, 100);
         }
     }
 

@@ -3,8 +3,9 @@
 //! replacing the navigating node does not improve and sometimes hurts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nsg_core::context::SearchContext;
 use nsg_core::nsg::{NsgIndex, NsgParams};
-use nsg_core::search::{search_on_graph_with, SearchParams, VisitedSet};
+use nsg_core::search::{search_on_graph_into, SearchParams};
 use nsg_knn::NnDescentParams;
 use nsg_vectors::distance::SquaredEuclidean;
 use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
@@ -30,35 +31,37 @@ fn bench_entry(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("entry_point_ablation");
     group.bench_function("navigating_node", |bench| {
-        let mut visited = VisitedSet::new(base.len());
+        let mut ctx = SearchContext::for_points(base.len());
         let mut qi = 0;
         bench.iter(|| {
             qi = (qi + 1) % queries.len();
-            black_box(search_on_graph_with(
+            black_box(search_on_graph_into(
                 nsg.graph(),
                 &base,
                 queries.get(qi),
                 &[nsg.navigating_node()],
                 params,
                 &SquaredEuclidean,
-                &mut visited,
-            ))
+                &mut ctx,
+            )
+            .len())
         })
     });
     group.bench_function("random_entries", |bench| {
-        let mut visited = VisitedSet::new(base.len());
+        let mut ctx = SearchContext::for_points(base.len());
         let mut qi = 0;
         bench.iter(|| {
             qi = (qi + 1) % queries.len();
-            black_box(search_on_graph_with(
+            black_box(search_on_graph_into(
                 nsg.graph(),
                 &base,
                 queries.get(qi),
                 &random_entries,
                 params,
                 &SquaredEuclidean,
-                &mut visited,
-            ))
+                &mut ctx,
+            )
+            .len())
         })
     });
     group.finish();

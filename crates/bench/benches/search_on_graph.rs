@@ -3,9 +3,10 @@
 //! out-degree makes each hop cheaper.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_core::context::SearchContext;
 use nsg_core::graph::DirectedGraph;
 use nsg_core::nsg::{NsgIndex, NsgParams};
-use nsg_core::search::{search_on_graph_with, SearchParams, VisitedSet};
+use nsg_core::search::{search_on_graph_into, SearchParams};
 use nsg_knn::{build_nn_descent, NnDescentParams};
 use nsg_vectors::distance::SquaredEuclidean;
 use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
@@ -27,38 +28,43 @@ fn bench_search(c: &mut Criterion) {
         NsgParams { build_pool_size: 60, max_degree: 30, knn: knn_params, reverse_insert: true, seed: 3 },
     );
 
+    // One reused context per benchmark: after the first iteration warms its
+    // buffers, every measured search performs zero heap allocation (the
+    // `alloc_guard` integration test enforces exactly this configuration).
     let mut group = c.benchmark_group("search_on_graph");
     for &pool in &[50usize, 100] {
         group.bench_with_input(BenchmarkId::new("nsg", pool), &pool, |bench, &pool| {
-            let mut visited = VisitedSet::new(base.len());
+            let mut ctx = SearchContext::for_points(base.len());
             let mut qi = 0;
             bench.iter(|| {
                 qi = (qi + 1) % queries.len();
-                black_box(search_on_graph_with(
+                black_box(search_on_graph_into(
                     nsg.graph(),
                     &base,
                     queries.get(qi),
                     &[nsg.navigating_node()],
                     SearchParams::new(pool, 10),
                     &SquaredEuclidean,
-                    &mut visited,
-                ))
+                    &mut ctx,
+                )
+                .len())
             })
         });
         group.bench_with_input(BenchmarkId::new("knn_graph", pool), &pool, |bench, &pool| {
-            let mut visited = VisitedSet::new(base.len());
+            let mut ctx = SearchContext::for_points(base.len());
             let mut qi = 0;
             bench.iter(|| {
                 qi = (qi + 1) % queries.len();
-                black_box(search_on_graph_with(
+                black_box(search_on_graph_into(
                     &knn_graph,
                     &base,
                     queries.get(qi),
                     &[nsg.navigating_node()],
                     SearchParams::new(pool, 10),
                     &SquaredEuclidean,
-                    &mut visited,
-                ))
+                    &mut ctx,
+                )
+                .len())
             })
         });
     }

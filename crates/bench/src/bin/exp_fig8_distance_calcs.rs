@@ -8,6 +8,7 @@
 
 use nsg_bench::common::{output_dir, Scale};
 use nsg_baselines::{IvfPq, IvfPqParams, KdForest, KdForestParams, LshIndex, LshParams};
+use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::nsg::{NsgIndex, NsgParams};
 use nsg_eval::report::{fmt_f64, Table};
 use nsg_eval::sweep::effort_ladder;
@@ -28,7 +29,8 @@ fn main() {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, k, &SquaredEuclidean);
 
-        // NSG: its SearchResult carries the exact distance-computation count.
+        // NSG: the search context carries the exact distance-computation
+        // count, read back per query on the allocation-free path.
         let nsg = NsgIndex::build(
             Arc::clone(&base),
             SquaredEuclidean,
@@ -40,13 +42,15 @@ fn main() {
                 seed: 5,
             },
         );
+        let mut ctx = nsg.new_context();
         for effort in effort_ladder(10, 400, 2.0) {
+            let request = SearchRequest::new(k).with_effort(effort).with_stats();
             let mut results = Vec::with_capacity(queries.len());
             let mut calcs = 0u64;
             for q in 0..queries.len() {
-                let r = nsg.search_with_stats(queries.get(q), k, effort);
-                calcs += r.stats.distance_computations;
-                results.push(r.ids);
+                let hits = nsg.search_into(&mut ctx, &request, queries.get(q));
+                results.push(nsg_core::neighbor::ids(hits));
+                calcs += ctx.stats().distance_computations;
             }
             table.add_row(vec![
                 kind.short_name().to_string(),
@@ -115,9 +119,9 @@ fn main() {
             let mut results = Vec::with_capacity(queries.len());
             let mut calcs = 0u64;
             for q in 0..queries.len() {
-                let (ids, c) = ivfpq.search_counted(queries.get(q), k, effort);
-                calcs += c;
-                results.push(ids);
+                let (neighbors, stats) = ivfpq.search_counted(queries.get(q), k, effort);
+                calcs += stats.distance_computations;
+                results.push(nsg_core::neighbor::ids(&neighbors));
             }
             table.add_row(vec![
                 kind.short_name().to_string(),

@@ -1,0 +1,168 @@
+//! Reusable per-thread search scratch: [`SearchContext`].
+//!
+//! Every query needs a visited set, a candidate pool and a result buffer.
+//! Allocating them per query is pure overhead on the hot path the paper's
+//! whole evaluation measures (§4, Figs. 6–11), so the query API threads a
+//! [`SearchContext`] through every search instead: create one per worker
+//! thread with [`AnnIndex::new_context`](crate::index::AnnIndex::new_context),
+//! reuse it across queries, and the hot loop performs **zero heap
+//! allocation** after the first search warms the buffers (guarded by the
+//! `alloc_guard` integration test).
+//!
+//! # Context-reuse contract
+//!
+//! * A context is scratch for **one thread**: it is `Send` but not shared —
+//!   batch search hands one context to each worker.
+//! * A context may be reused freely across queries, requests and indices;
+//!   buffers grow to the largest size seen and stay warm.
+//! * After `search_into` returns, [`results`](SearchContext::results) holds
+//!   the answer and [`stats`](SearchContext::stats) the instrumentation of
+//!   that search — both are overwritten by the next search.
+
+use crate::neighbor::{CandidatePool, Neighbor};
+use crate::search::{SearchStats, VisitedSet};
+use nsg_vectors::distance::Distance;
+use nsg_vectors::VectorSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reusable per-thread scratch for the query hot path.
+///
+/// The fields are public so index implementations in other crates can use the
+/// buffers directly; applications should treat a context as an opaque token
+/// and only read [`results`](Self::results) / [`stats`](Self::stats).
+#[derive(Debug, Clone)]
+pub struct SearchContext {
+    /// Epoch-based visited bitmap, sized to the largest base set searched.
+    pub visited: VisitedSet,
+    /// The Algorithm 1 candidate pool, re-targeted per request.
+    pub pool: CandidatePool,
+    /// The answer of the last search (ascending distance).
+    pub results: Vec<Neighbor>,
+    /// Entry-point scratch (random or tree-provided start nodes).
+    pub entries: Vec<u32>,
+    /// Scored-candidate scratch for rerank / merge style indices.
+    pub scored: Vec<Neighbor>,
+    /// Instrumentation of the last search.
+    pub stats: SearchStats,
+}
+
+impl SearchContext {
+    /// Creates an empty context; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::for_points(0)
+    }
+
+    /// Creates a context pre-sized for an index over `num_points` vectors,
+    /// so even the first search avoids resizing the visited set.
+    pub fn for_points(num_points: usize) -> Self {
+        Self {
+            visited: VisitedSet::new(num_points),
+            pool: CandidatePool::new(1),
+            results: Vec::new(),
+            entries: Vec::new(),
+            scored: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// The answer of the last `search_into` call (ascending distance).
+    pub fn results(&self) -> &[Neighbor] {
+        &self.results
+    }
+
+    /// Instrumentation of the last `search_into` call.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Scores every candidate id currently in [`entries`](Self::entries)
+    /// against `query` and leaves the best `k` in [`results`](Self::results)
+    /// — the shared tail of the rerank-style baselines (KD-tree forest,
+    /// multi-probe LSH): gather candidates, re-rank with exact distances,
+    /// truncate. Stats report one distance computation per candidate; an
+    /// empty candidate set or `k == 0` yields empty results and zero stats.
+    pub fn rerank_entries<D: Distance + ?Sized>(
+        &mut self,
+        base: &VectorSet,
+        metric: &D,
+        query: &[f32],
+        k: usize,
+    ) {
+        self.results.clear();
+        self.stats = SearchStats::default();
+        if self.entries.is_empty() || k == 0 {
+            return;
+        }
+        self.pool.reset(k.min(self.entries.len()));
+        let entries = &self.entries;
+        let pool = &mut self.pool;
+        for &id in entries {
+            pool.insert(id, metric.distance(query, base.get(id as usize)));
+        }
+        self.pool.top_k_into(k, &mut self.results);
+        self.stats = SearchStats {
+            distance_computations: self.entries.len() as u64,
+            hops: 0,
+            visited: self.entries.len() as u64,
+        };
+    }
+
+    /// Fills [`entries`](Self::entries) with `count` random node ids drawn
+    /// from `0..num_points`, seeded by `seed ^ salt`.
+    ///
+    /// This is the pool-filling random initialization the released
+    /// KGraph/Efanna searches use (and Figure 8's reason for charging the
+    /// random-entry methods a large distance budget): seeding the *entire*
+    /// pool with random points keeps weakly-connected regions of a directed
+    /// graph reachable. The salt must vary per query (see
+    /// `nsg_vectors::sample::query_salt`) so entry points are deterministic
+    /// per query content but not shared across queries.
+    pub fn fill_random_entries(&mut self, num_points: usize, count: usize, seed: u64, salt: u64) {
+        self.entries.clear();
+        if num_points == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+        self.entries
+            .extend((0..count.max(1)).map(|_| rng.random_range(0..num_points as u32)));
+    }
+}
+
+impl Default for SearchContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_context_is_empty() {
+        let ctx = SearchContext::new();
+        assert!(ctx.results().is_empty());
+        assert_eq!(ctx.stats(), SearchStats::default());
+    }
+
+    #[test]
+    fn random_entries_are_in_range_and_salted() {
+        let mut ctx = SearchContext::for_points(100);
+        ctx.fill_random_entries(50, 16, 7, 1);
+        assert_eq!(ctx.entries.len(), 16);
+        assert!(ctx.entries.iter().all(|&e| e < 50));
+        let first = ctx.entries.clone();
+        ctx.fill_random_entries(50, 16, 7, 2);
+        assert_ne!(first, ctx.entries, "different salts must move the entry points");
+        ctx.fill_random_entries(50, 16, 7, 1);
+        assert_eq!(first, ctx.entries, "same seed and salt must be deterministic");
+    }
+
+    #[test]
+    fn empty_base_yields_no_entries() {
+        let mut ctx = SearchContext::new();
+        ctx.fill_random_entries(0, 8, 3, 9);
+        assert!(ctx.entries.is_empty());
+    }
+}

@@ -3,7 +3,22 @@
 //! The paper's evaluation sweeps one "effort" knob per algorithm (candidate
 //! pool size for graph methods, probe count for LSH/IVFPQ, leaf checks for
 //! KD-trees) and reports precision versus cost. [`SearchQuality`] is that
-//! knob, and [`AnnIndex`] is the interface the evaluation harness drives.
+//! knob, [`SearchRequest`] bundles it with `k` and stats collection into one
+//! query description, and [`AnnIndex`] is the interface the evaluation
+//! harness drives.
+//!
+//! The serving-grade entry point is [`AnnIndex::search_into`]: it threads a
+//! reusable [`SearchContext`] through the search so the hot loop performs no
+//! heap allocation after warm-up, and returns scored [`Neighbor`]s. The
+//! provided [`search`](AnnIndex::search) and
+//! [`search_batch`](AnnIndex::search_batch) conveniences are built on top of
+//! it — the batch path amortizes one context per worker thread.
+
+use crate::context::SearchContext;
+use crate::neighbor::Neighbor;
+use crate::search::{SearchParams, SearchResult};
+use nsg_vectors::VectorSet;
+use rayon::prelude::*;
 
 /// The per-query effort knob swept by the QPS-vs-precision experiments.
 ///
@@ -29,11 +44,105 @@ impl Default for SearchQuality {
     }
 }
 
+/// One k-NN query description: how many neighbors, at what effort, and
+/// whether to collect instrumentation.
+///
+/// Built with a fluent builder:
+///
+/// ```
+/// use nsg_core::index::SearchRequest;
+/// let request = SearchRequest::new(10).with_effort(200).with_stats();
+/// assert_eq!(request.k, 10);
+/// assert_eq!(request.quality.effort, 200);
+/// assert!(request.collect_stats);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchRequest {
+    /// Number of neighbors to return.
+    pub k: usize,
+    /// Search effort (pool size / probes / checks).
+    pub quality: SearchQuality,
+    /// Whether the caller will read [`SearchContext::stats`] after
+    /// `search_into`. Stats are guaranteed valid when this is `true`; every
+    /// current index fills the counters unconditionally because they are
+    /// free by-products of its search loop, so today the flag only records
+    /// intent — it exists so a future index whose instrumentation has real
+    /// cost (e.g. per-hop latency histograms) may skip it when `false`.
+    pub collect_stats: bool,
+}
+
+impl SearchRequest {
+    /// A request for `k` neighbors at the default effort.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            quality: SearchQuality::default(),
+            collect_stats: false,
+        }
+    }
+
+    /// Sets the effort knob.
+    pub fn with_effort(mut self, effort: usize) -> Self {
+        self.quality = SearchQuality::new(effort);
+        self
+    }
+
+    /// Sets the effort knob from an existing [`SearchQuality`].
+    pub fn with_quality(mut self, quality: SearchQuality) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Opts into per-query instrumentation.
+    pub fn with_stats(mut self) -> Self {
+        self.collect_stats = true;
+        self
+    }
+
+    /// Derives the Algorithm 1 parameters from this request — the **single**
+    /// place the effort knob becomes a candidate pool size (`pool_size =
+    /// effort`, clamped to at least `k`). Graph indices must use this instead
+    /// of hand-building [`SearchParams`] on the query path.
+    pub fn params(&self) -> SearchParams {
+        SearchParams::new(self.quality.effort, self.k)
+    }
+}
+
+impl From<&SearchRequest> for SearchParams {
+    fn from(request: &SearchRequest) -> Self {
+        request.params()
+    }
+}
+
 /// A built approximate-nearest-neighbor index that can answer k-NN queries.
+///
+/// Implementations provide the context-reuse fast path
+/// ([`search_into`](Self::search_into)) plus a context factory
+/// ([`new_context`](Self::new_context)); the owned-result conveniences are
+/// provided. The context-per-worker model is the shape thread pools need:
+/// one context per thread, reused across that thread's queries.
 pub trait AnnIndex: Send + Sync {
-    /// Returns the ids of (approximately) the `k` nearest base vectors to
-    /// `query`, best first.
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32>;
+    /// Creates a search context pre-sized for this index. Contexts are
+    /// reusable across queries and requests; create one per worker thread.
+    fn new_context(&self) -> SearchContext;
+
+    /// Answers one query inside `ctx`, returning the (approximately) `request.k`
+    /// nearest base vectors as scored [`Neighbor`]s, best first. The returned
+    /// slice borrows `ctx` and is overwritten by the next search; per-query
+    /// instrumentation is left in [`SearchContext::stats`].
+    ///
+    /// Allocation contract: **graph indices** must not allocate on this path
+    /// once `ctx` is warm (enforced by the `alloc_guard` test). The
+    /// non-graph baselines are exempt where their algorithm needs per-query
+    /// structures (IVF-PQ rebuilds per-probed-list ADC lookup tables, the
+    /// KD-forest a branch queue); they still reuse the context's candidate
+    /// and result buffers.
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor];
 
     /// Estimated resident memory of the index structure in bytes, excluding
     /// the raw vectors (the paper's Table 2 reports graph memory separately
@@ -42,16 +151,77 @@ pub trait AnnIndex: Send + Sync {
 
     /// Human-readable algorithm name as used in the paper's tables.
     fn name(&self) -> &'static str;
+
+    /// One-off convenience: answers a single query on a fresh context.
+    /// Prefer [`search_into`](Self::search_into) in loops.
+    fn search(&self, query: &[f32], request: &SearchRequest) -> Vec<Neighbor> {
+        let mut ctx = self.new_context();
+        self.search_into(&mut ctx, request, query).to_vec()
+    }
+
+    /// One-off convenience returning the answer together with its
+    /// instrumentation as an owned [`SearchResult`] (used by the
+    /// distance-counting experiments). Prefer
+    /// [`search_into`](Self::search_into) + [`SearchContext::stats`] in
+    /// loops.
+    fn search_with_stats(&self, query: &[f32], request: &SearchRequest) -> SearchResult {
+        let mut ctx = self.new_context();
+        let neighbors = self.search_into(&mut ctx, &request.with_stats(), query).to_vec();
+        SearchResult { neighbors, stats: ctx.stats() }
+    }
+
+    /// Answers a batch of queries, amortizing one [`SearchContext`] per
+    /// worker thread (parallel across the queries; results are returned in
+    /// query order regardless of the worker count).
+    ///
+    /// The batch is split into one contiguous chunk per worker — maximal
+    /// context amortization at the price of no work-stealing between
+    /// workers. With heavily skewed per-query cost (or under real rayon,
+    /// where `map_init` offers balanced per-worker state), smaller chunks
+    /// would balance better; revisit when a serving PR measures it.
+    fn search_batch(&self, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<Neighbor>> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        let chunk = n.div_ceil(rayon::current_num_threads()).max(1);
+        let per_chunk: Vec<Vec<Vec<Neighbor>>> = indices
+            .par_chunks(chunk)
+            .map(|chunk| {
+                let mut ctx = self.new_context();
+                chunk
+                    .iter()
+                    .map(|&q| self.search_into(&mut ctx, request, queries.get(q)).to_vec())
+                    .collect()
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::neighbor;
+    use nsg_vectors::synthetic::uniform;
 
     struct Dummy;
     impl AnnIndex for Dummy {
-        fn search(&self, _query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-            (0..k.min(quality.effort) as u32).collect()
+        fn new_context(&self) -> SearchContext {
+            SearchContext::new()
+        }
+        fn search_into<'a>(
+            &self,
+            ctx: &'a mut SearchContext,
+            request: &SearchRequest,
+            _query: &[f32],
+        ) -> &'a [Neighbor] {
+            ctx.results.clear();
+            ctx.results.extend(
+                (0..request.k.min(request.quality.effort) as u32).map(|i| Neighbor::new(i, i as f32)),
+            );
+            &ctx.results
         }
         fn memory_bytes(&self) -> usize {
             42
@@ -68,10 +238,45 @@ mod tests {
     }
 
     #[test]
+    fn request_builder_composes() {
+        let r = SearchRequest::new(5).with_effort(64).with_stats();
+        assert_eq!(r.k, 5);
+        assert_eq!(r.quality.effort, 64);
+        assert!(r.collect_stats);
+        let r2 = SearchRequest::new(3).with_quality(SearchQuality::new(7));
+        assert_eq!(r2.quality.effort, 7);
+        assert!(!r2.collect_stats);
+    }
+
+    #[test]
+    fn params_derive_from_the_request_in_one_place() {
+        // pool_size = effort, clamped to at least k.
+        let r = SearchRequest::new(10).with_effort(3);
+        assert_eq!(r.params(), SearchParams::new(3, 10));
+        assert_eq!(r.params().pool_size, 10);
+        let p: SearchParams = (&SearchRequest::new(2).with_effort(50)).into();
+        assert_eq!(p, SearchParams { pool_size: 50, k: 2 });
+    }
+
+    #[test]
     fn trait_object_is_usable() {
         let b: Box<dyn AnnIndex> = Box::new(Dummy);
-        assert_eq!(b.search(&[0.0], 3, SearchQuality::new(10)), vec![0, 1, 2]);
+        let res = b.search(&[0.0], &SearchRequest::new(3).with_effort(10));
+        assert_eq!(neighbor::ids(&res), vec![0, 1, 2]);
         assert_eq!(b.memory_bytes(), 42);
         assert_eq!(b.name(), "dummy");
+    }
+
+    #[test]
+    fn search_batch_preserves_query_order() {
+        let queries = uniform(37, 2, 1);
+        let b: Box<dyn AnnIndex> = Box::new(Dummy);
+        let batch = b.search_batch(&queries, &SearchRequest::new(2).with_effort(10));
+        assert_eq!(batch.len(), 37);
+        for r in &batch {
+            assert_eq!(neighbor::ids(r), vec![0, 1]);
+        }
+        let empty = b.search_batch(&uniform(0, 2, 1), &SearchRequest::new(2));
+        assert!(empty.is_empty());
     }
 }

@@ -3,6 +3,7 @@
 //! (NSG), together with the shared greedy search routine (Algorithm 1), graph
 //! analytics, serialization and sharded (distributed-style) search.
 
+pub mod context;
 pub mod graph;
 pub mod index;
 pub mod mrng;
@@ -13,10 +14,13 @@ pub mod serialize;
 pub mod sharded;
 pub mod stats;
 
+pub use context::SearchContext;
 pub use graph::DirectedGraph;
-pub use index::{AnnIndex, SearchQuality};
+pub use index::{AnnIndex, SearchQuality, SearchRequest};
 pub use mrng::{build_mrng, build_rng_graph, MrngParams};
 pub use neighbor::{CandidatePool, Neighbor};
 pub use nsg::{NsgIndex, NsgParams};
-pub use search::{search_on_graph, SearchParams, SearchResult, SearchStats};
+pub use search::{
+    search_on_graph, search_on_graph_into, SearchParams, SearchResult, SearchStats, VisitedSet,
+};
 pub use sharded::ShardedNsg;

@@ -16,6 +16,7 @@
 //! paper (the practical index is the NSG).
 
 use crate::graph::DirectedGraph;
+use crate::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
 use rayon::prelude::*;
@@ -39,32 +40,32 @@ pub struct MrngParams {
 pub fn mrng_select<D: Distance + ?Sized>(
     base: &VectorSet,
     node: &[f32],
-    candidates: &[(u32, f32)],
+    candidates: &[Neighbor],
     max_degree: usize,
     metric: &D,
 ) -> Vec<u32> {
-    debug_assert!(candidates.windows(2).all(|w| w[0].1 <= w[1].1));
+    debug_assert!(candidates.windows(2).all(|w| w[0].dist <= w[1].dist));
     let _ = node;
-    let mut selected: Vec<(u32, f32)> = Vec::with_capacity(max_degree.min(candidates.len()));
-    for &(q, dist_pq) in candidates {
+    let mut selected: Vec<Neighbor> = Vec::with_capacity(max_degree.min(candidates.len()));
+    for &c in candidates {
         if selected.len() >= max_degree {
             break;
         }
-        if selected.iter().any(|&(r, _)| r == q) {
+        if selected.iter().any(|r| r.id == c.id) {
             continue;
         }
         // Conflict: some already-selected r is closer to q than p is
         // (δ(q, r) < δ(p, q)), i.e. r lies in lune(p, q) and pq is the longest
         // edge of triangle pqr, so the edge p->q is pruned.
-        let conflict = selected.iter().any(|&(r, _)| {
-            let d_qr = metric.distance(base.get(q as usize), base.get(r as usize));
-            d_qr < dist_pq
+        let conflict = selected.iter().any(|r| {
+            let d_qr = metric.distance(base.get(c.id as usize), base.get(r.id as usize));
+            d_qr < c.dist
         });
         if !conflict {
-            selected.push((q, dist_pq));
+            selected.push(c);
         }
     }
-    selected.into_iter().map(|(id, _)| id).collect()
+    selected.into_iter().map(|n| n.id).collect()
 }
 
 /// Builds the exact MRNG of `base` under `metric` (O(n²) distance
@@ -80,11 +81,11 @@ pub fn build_mrng<D: Distance + Sync + ?Sized>(
         .into_par_iter()
         .map(|p| {
             let pv = base.get(p);
-            let mut candidates: Vec<(u32, f32)> = (0..n)
+            let mut candidates: Vec<Neighbor> = (0..n)
                 .filter(|&q| q != p)
-                .map(|q| (q as u32, metric.distance(pv, base.get(q))))
+                .map(|q| Neighbor::new(q as u32, metric.distance(pv, base.get(q))))
                 .collect();
-            candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            candidates.sort_unstable_by(Neighbor::ordering);
             mrng_select(base, pv, &candidates, cap, metric)
         })
         .collect();
@@ -325,7 +326,7 @@ mod tests {
         // Points on a line at 0, 1, 2, 3: from node 0 only the point at 1
         // survives (every farther point has the closer one inside the lune).
         let base = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0], [3.0]]);
-        let candidates = vec![(1u32, 1.0f32), (2, 4.0), (3, 9.0)];
+        let candidates = vec![Neighbor::new(1, 1.0), Neighbor::new(2, 4.0), Neighbor::new(3, 9.0)];
         let sel = mrng_select(&base, base.get(0), &candidates, 10, &SquaredEuclidean);
         assert_eq!(sel, vec![1]);
     }
@@ -338,8 +339,8 @@ mod tests {
             2,
             &[[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]],
         );
-        let candidates: Vec<(u32, f32)> = (1..5)
-            .map(|q| (q as u32, SquaredEuclidean.distance(base.get(0), base.get(q))))
+        let candidates: Vec<Neighbor> = (1..5)
+            .map(|q| Neighbor::new(q as u32, SquaredEuclidean.distance(base.get(0), base.get(q))))
             .collect();
         let sel = mrng_select(&base, base.get(0), &candidates, 10, &SquaredEuclidean);
         assert_eq!(sel.len(), 4);

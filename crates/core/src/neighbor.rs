@@ -1,4 +1,5 @@
-//! The candidate pool of Algorithm 1.
+//! The universal scored result unit ([`Neighbor`]) and the candidate pool of
+//! Algorithm 1 ([`CandidatePool`]).
 //!
 //! The search-on-graph routine keeps a pool `S` of at most `l` candidates
 //! sorted by ascending distance to the query, repeatedly expands the first
@@ -6,11 +7,42 @@
 //! been checked. [`CandidatePool`] implements exactly that data structure with
 //! the sorted-insertion scheme the released NSG code uses.
 
-/// One entry of the candidate pool: a node id, its distance to the query, and
-/// whether its neighbors have already been expanded ("checked" in the paper's
-/// Algorithm 1).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A scored query answer: a node id and its distance to the query.
+///
+/// This is the result unit every index in the workspace returns — the paper's
+/// whole evaluation is cost versus precision, and precision analysis needs the
+/// distances, not just the ids. `Neighbor` lists are always sorted ascending
+/// by distance with ties broken by id, so batch results are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Neighbor {
+    /// Node id in the index's base set.
+    pub id: u32,
+    /// Distance from the query to this node (in the index's metric).
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Creates a scored neighbor.
+    pub fn new(id: u32, dist: f32) -> Self {
+        Self { id, dist }
+    }
+
+    /// The canonical result ordering: ascending distance, ties broken by id.
+    pub fn ordering(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+        a.dist.total_cmp(&b.dist).then_with(|| a.id.cmp(&b.id))
+    }
+}
+
+/// Extracts the bare ids of a result list (for precision evaluation against
+/// id-based ground truth).
+pub fn ids(neighbors: &[Neighbor]) -> Vec<u32> {
+    neighbors.iter().map(|n| n.id).collect()
+}
+
+/// One entry of the candidate pool: a scored candidate plus whether Algorithm
+/// 1 has already expanded its out-edges ("checked" in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolEntry {
     /// Node id.
     pub id: u32,
     /// Distance from the query to this node.
@@ -19,7 +51,7 @@ pub struct Neighbor {
     pub checked: bool,
 }
 
-impl Neighbor {
+impl PoolEntry {
     /// Creates an unchecked pool entry.
     pub fn new(id: u32, dist: f32) -> Self {
         Self { id, dist, checked: false }
@@ -30,7 +62,7 @@ impl Neighbor {
 /// ascending distance (ties broken by id so the order is deterministic).
 #[derive(Debug, Clone)]
 pub struct CandidatePool {
-    entries: Vec<Neighbor>,
+    entries: Vec<PoolEntry>,
     capacity: usize,
 }
 
@@ -45,6 +77,21 @@ impl CandidatePool {
             entries: Vec::with_capacity(capacity + 1),
             capacity,
         }
+    }
+
+    /// Clears the pool and re-targets it at a (possibly different) capacity,
+    /// reusing the existing allocation. After the first search at a given
+    /// capacity this performs no heap allocation — the context-reuse fast
+    /// path of [`SearchContext`](crate::context::SearchContext).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "candidate pool capacity must be positive");
+        self.entries.clear();
+        // +1: `insert` may briefly hold capacity+1 entries before evicting.
+        self.entries.reserve(capacity + 1);
+        self.capacity = capacity;
     }
 
     /// Pool capacity `l`.
@@ -63,7 +110,7 @@ impl CandidatePool {
     }
 
     /// The candidates in ascending distance order.
-    pub fn entries(&self) -> &[Neighbor] {
+    pub fn entries(&self) -> &[PoolEntry] {
         &self.entries
     }
 
@@ -98,7 +145,7 @@ impl CandidatePool {
         if pos < self.entries.len() && self.entries[pos].id == id && self.entries[pos].dist == dist {
             return false;
         }
-        self.entries.insert(pos, Neighbor::new(id, dist));
+        self.entries.insert(pos, PoolEntry::new(id, dist));
         if self.entries.len() > self.capacity {
             self.entries.pop();
         }
@@ -125,9 +172,16 @@ impl CandidatePool {
         self.entries.iter().take(k).map(|e| e.id).collect()
     }
 
-    /// `(id, distance)` of the first `k` candidates.
-    pub fn top_k(&self, k: usize) -> Vec<(u32, f32)> {
-        self.entries.iter().take(k).map(|e| (e.id, e.dist)).collect()
+    /// The first `k` candidates as scored [`Neighbor`]s.
+    pub fn top_k(&self, k: usize) -> Vec<Neighbor> {
+        self.entries.iter().take(k).map(|e| Neighbor::new(e.id, e.dist)).collect()
+    }
+
+    /// Appends the first `k` candidates to `out` without allocating beyond
+    /// `out`'s existing capacity growth — the zero-allocation result path of
+    /// `search_into`.
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<Neighbor>) {
+        out.extend(self.entries.iter().take(k).map(|e| Neighbor::new(e.id, e.dist)));
     }
 
     /// Clears the pool for reuse across queries.
@@ -211,7 +265,10 @@ mod tests {
         let mut pool = CandidatePool::new(4);
         pool.insert(1, 1.0);
         assert_eq!(pool.top_k_ids(10), vec![1]);
-        assert_eq!(pool.top_k(10), vec![(1, 1.0)]);
+        assert_eq!(pool.top_k(10), vec![Neighbor::new(1, 1.0)]);
+        let mut out = Vec::new();
+        pool.top_k_into(10, &mut out);
+        assert_eq!(out, vec![Neighbor::new(1, 1.0)]);
     }
 
     #[test]
@@ -221,6 +278,32 @@ mod tests {
         pool.clear();
         assert!(pool.is_empty());
         assert_eq!(pool.first_unchecked(), None);
+    }
+
+    #[test]
+    fn reset_retargets_capacity_and_reuses_allocation() {
+        let mut pool = CandidatePool::new(2);
+        pool.insert(1, 1.0);
+        pool.insert(2, 2.0);
+        pool.reset(4);
+        assert!(pool.is_empty());
+        assert_eq!(pool.capacity(), 4);
+        for id in 0..6 {
+            pool.insert(id, f32::from(id as u8));
+        }
+        assert_eq!(pool.len(), 4);
+        pool.reset(1);
+        assert_eq!(pool.capacity(), 1);
+        pool.insert(9, 1.0);
+        pool.insert(3, 0.5);
+        assert_eq!(pool.top_k_ids(1), vec![3]);
+    }
+
+    #[test]
+    fn neighbor_ordering_is_by_distance_then_id() {
+        let mut v = vec![Neighbor::new(4, 2.0), Neighbor::new(9, 1.0), Neighbor::new(2, 1.0)];
+        v.sort_unstable_by(Neighbor::ordering);
+        assert_eq!(ids(&v), vec![2, 9, 4]);
     }
 
     #[test]

@@ -15,12 +15,15 @@
 //!    unreachable by linking it to its nearest reachable neighbor found with
 //!    Algorithm 1.
 //!
-//! Search always starts from the navigating node and is plain Algorithm 1.
+//! Search always starts from the navigating node and is plain Algorithm 1 on
+//! the reusable-context fast path.
 
+use crate::context::SearchContext;
 use crate::graph::DirectedGraph;
-use crate::index::{AnnIndex, SearchQuality};
+use crate::index::{AnnIndex, SearchRequest};
 use crate::mrng::mrng_select;
-use crate::search::{search_collect, search_on_graph, SearchParams, SearchResult, VisitedSet};
+use crate::neighbor::Neighbor;
+use crate::search::{search_collect, search_on_graph, search_on_graph_into, SearchParams};
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
@@ -122,16 +125,18 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let random_start = rng.random_range(0..n as u32);
         let nav_params = SearchParams::new(params.build_pool_size, 1);
         let nav_result = search_on_graph(&knn_graph, &base, &centroid, &[random_start], nav_params, &metric);
-        let navigating_node = nav_result.ids.first().copied().unwrap_or(random_start);
+        let navigating_node = nav_result.neighbors.first().map(|nb| nb.id).unwrap_or(random_start);
 
-        // Step iii: search-collect-select for every node, in parallel.
+        // Step iii: search-collect-select for every node, in parallel (one
+        // search context per node task; real-rayon-style worker reuse would
+        // thread one per worker).
         let m = params.max_degree.max(1);
         let collect_params = SearchParams::new(params.build_pool_size, params.build_pool_size);
         let selected: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
             .map(|v| {
                 let query = base.get(v);
-                let mut visited = VisitedSet::new(n);
+                let mut ctx = SearchContext::for_points(n);
                 let (_, mut candidates) = search_collect(
                     &knn_graph,
                     &base,
@@ -139,60 +144,60 @@ impl<D: Distance + Sync> NsgIndex<D> {
                     &[navigating_node],
                     collect_params,
                     &metric,
-                    &mut visited,
+                    &mut ctx,
                 );
                 // Add v's kNN neighbors (they carry the approximate NNG, which
                 // is essential for monotonicity — Figure 4).
                 for nb in knn.neighbors(v as u32) {
-                    candidates.push((nb.id, nb.dist));
+                    candidates.push(Neighbor::new(nb.id, nb.dist));
                 }
-                candidates.retain(|&(id, _)| id as usize != v);
-                candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-                candidates.dedup_by_key(|c| c.0);
+                candidates.retain(|c| c.id as usize != v);
+                candidates.sort_unstable_by(Neighbor::ordering);
+                candidates.dedup_by_key(|c| c.id);
                 mrng_select(&base, query, &candidates, m, &metric)
             })
             .collect();
 
         // Step iii-b: reverse-edge insertion under the same pruning rule.
-        let lists: Vec<Mutex<Vec<(u32, f32)>>> = selected
+        let lists: Vec<Mutex<Vec<Neighbor>>> = selected
             .iter()
             .enumerate()
             .map(|(v, ids)| {
                 Mutex::new(
                     ids.iter()
-                        .map(|&u| (u, metric.distance(base.get(v), base.get(u as usize))))
+                        .map(|&u| Neighbor::new(u, metric.distance(base.get(v), base.get(u as usize))))
                         .collect(),
                 )
             })
             .collect();
         if params.reverse_insert {
             (0..n).into_par_iter().for_each(|v| {
-                let out: Vec<u32> = lists[v].lock().iter().map(|&(id, _)| id).collect();
+                let out: Vec<u32> = lists[v].lock().iter().map(|nb| nb.id).collect();
                 for u in out {
                     let d_vu = metric.distance(base.get(v), base.get(u as usize));
                     let mut target = lists[u as usize].lock();
-                    if target.iter().any(|&(id, _)| id as usize == v) {
+                    if target.iter().any(|t| t.id as usize == v) {
                         continue;
                     }
                     if target.len() < m {
-                        target.push((v as u32, d_vu));
+                        target.push(Neighbor::new(v as u32, d_vu));
                         continue;
                     }
                     // The list is full: re-run the pruning over list ∪ {v} and
                     // keep the survivors (bounded by m).
-                    let mut candidates: Vec<(u32, f32)> = target.clone();
-                    candidates.push((v as u32, d_vu));
-                    candidates.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                    let mut candidates: Vec<Neighbor> = target.clone();
+                    candidates.push(Neighbor::new(v as u32, d_vu));
+                    candidates.sort_unstable_by(Neighbor::ordering);
                     let kept = mrng_select(&base, base.get(u as usize), &candidates, m, &metric);
                     *target = kept
                         .into_iter()
                         .map(|id| {
                             let d = candidates
                                 .iter()
-                                .find(|&&(cid, _)| cid == id)
-                                .map(|&(_, d)| d)
+                                .find(|c| c.id == id)
+                                .map(|c| c.dist)
                                 .unwrap_or_else(|| metric.distance(base.get(u as usize), base.get(id as usize)));
-                            (id, d)
+                            Neighbor::new(id, d)
                         })
                         .collect();
                 }
@@ -201,7 +206,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let mut graph = DirectedGraph::from_adjacency(
             lists
                 .into_iter()
-                .map(|l| l.into_inner().into_iter().map(|(id, _)| id).collect())
+                .map(|l| l.into_inner().into_iter().map(|nb| nb.id).collect())
                 .collect(),
         );
 
@@ -246,7 +251,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let mut reachable = vec![false; n];
         Self::dfs_mark(graph, navigating_node, &mut reachable);
         let repair_params = SearchParams::new(pool_size.max(8), pool_size.max(8));
-        let mut visited = VisitedSet::new(n);
+        let mut ctx = SearchContext::for_points(n);
         for v in 0..n as u32 {
             if reachable[v as usize] {
                 continue;
@@ -261,13 +266,13 @@ impl<D: Distance + Sync> NsgIndex<D> {
                 &[navigating_node],
                 repair_params,
                 metric,
-                &mut visited,
+                &mut ctx,
             );
             let attach = result
-                .ids
+                .neighbors
                 .iter()
-                .copied()
-                .chain(collected.iter().map(|&(id, _)| id))
+                .map(|nb| nb.id)
+                .chain(collected.iter().map(|nb| nb.id))
                 .find(|&id| id != v && reachable[id as usize])
                 .unwrap_or(navigating_node);
             graph.add_edge(attach, v);
@@ -301,19 +306,6 @@ impl<D: Distance + Sync> NsgIndex<D> {
         &self.metric
     }
 
-    /// Full Algorithm 1 search returning distances and instrumentation
-    /// (used by the distance-computation and path-length experiments).
-    pub fn search_with_stats(&self, query: &[f32], k: usize, pool_size: usize) -> SearchResult {
-        search_on_graph(
-            &self.graph,
-            &self.base,
-            query,
-            &[self.navigating_node],
-            SearchParams::new(pool_size, k),
-            &self.metric,
-        )
-    }
-
     /// Reassembles an index from its serialized parts (see
     /// [`crate::serialize`]).
     pub fn from_parts(
@@ -339,8 +331,25 @@ impl<D: Distance + Sync> NsgIndex<D> {
 }
 
 impl<D: Distance + Sync> AnnIndex for NsgIndex<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_with_stats(query, k, quality.effort).ids
+    fn new_context(&self) -> SearchContext {
+        SearchContext::for_points(self.base.len())
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        search_on_graph_into(
+            &self.graph,
+            &self.base,
+            query,
+            &[self.navigating_node],
+            request.params(),
+            &self.metric,
+            ctx,
+        )
     }
 
     fn memory_bytes(&self) -> usize {
@@ -355,6 +364,7 @@ impl<D: Distance + Sync> AnnIndex for NsgIndex<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::neighbor;
     use crate::stats;
     use nsg_knn::build_exact_knn_graph;
     use nsg_vectors::distance::SquaredEuclidean;
@@ -372,15 +382,21 @@ mod tests {
         }
     }
 
+    fn batch_ids(index: &impl AnnIndex, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<u32>> {
+        index
+            .search_batch(queries, request)
+            .iter()
+            .map(|r| neighbor::ids(r))
+            .collect()
+    }
+
     #[test]
     fn nsg_search_reaches_high_precision_on_uniform_data() {
         let base = Arc::new(uniform(2000, 16, 3));
         let queries = uniform(50, 16, 99);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(100)))
-            .collect();
+        let results = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(100));
         let precision = mean_precision(&results, &gt, 10);
         assert!(precision > 0.9, "NSG precision too low: {precision}");
     }
@@ -392,9 +408,7 @@ mod tests {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(120)))
-            .collect();
+        let results = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(120));
         let precision = mean_precision(&results, &gt, 10);
         assert!(precision > 0.85, "NSG precision too low on clustered data: {precision}");
     }
@@ -426,9 +440,7 @@ mod tests {
             NsgIndex::build_from_knn(Arc::clone(&base), SquaredEuclidean, &knn, small_params());
         let queries = uniform(20, 8, 14);
         let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 5, SearchQuality::new(80)))
-            .collect();
+        let results = batch_ids(&index, &queries, &SearchRequest::new(5).with_effort(80));
         assert!(mean_precision(&results, &gt, 5) > 0.9);
     }
 
@@ -436,10 +448,13 @@ mod tests {
     fn query_equal_to_base_vector_returns_it() {
         let base = Arc::new(uniform(600, 8, 21));
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let request = SearchRequest::new(1).with_effort(60);
+        let mut ctx = index.new_context();
         let mut hits = 0;
         for v in (0..base.len()).step_by(40) {
-            let got = index.search(base.get(v), 1, SearchQuality::new(60));
-            if got == vec![v as u32] {
+            let got = index.search_into(&mut ctx, &request, base.get(v));
+            if neighbor::ids(got) == vec![v as u32] {
+                assert_eq!(got[0].dist, 0.0, "self-query must be at distance zero");
                 hits += 1;
             }
         }
@@ -450,17 +465,17 @@ mod tests {
     fn tiny_and_degenerate_inputs_build() {
         let empty = Arc::new(VectorSet::new(4));
         let idx = NsgIndex::build(empty, SquaredEuclidean, small_params());
-        assert!(idx.search(&[0.0; 4], 3, SearchQuality::default()).is_empty());
+        assert!(idx.search(&[0.0; 4], &SearchRequest::new(3)).is_empty());
 
         let single = Arc::new(uniform(1, 4, 1));
         let idx1 = NsgIndex::build(Arc::clone(&single), SquaredEuclidean, small_params());
-        assert_eq!(idx1.search(single.get(0), 1, SearchQuality::default()), vec![0]);
+        assert_eq!(neighbor::ids(&idx1.search(single.get(0), &SearchRequest::new(1))), vec![0]);
 
         let few = Arc::new(uniform(5, 4, 2));
         let idx5 = NsgIndex::build(Arc::clone(&few), SquaredEuclidean, small_params());
-        let res = idx5.search(few.get(2), 3, SearchQuality::default());
+        let res = idx5.search(few.get(2), &SearchRequest::new(3));
         assert_eq!(res.len(), 3);
-        assert_eq!(res[0], 2);
+        assert_eq!(res[0].id, 2);
     }
 
     #[test]
@@ -483,12 +498,8 @@ mod tests {
         let queries = uniform(30, 12, 42);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
-        let p_small: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(10)))
-            .collect();
-        let p_large: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(200)))
-            .collect();
+        let p_small = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(10));
+        let p_large = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(200));
         let small = mean_precision(&p_small, &gt, 10);
         let large = mean_precision(&p_large, &gt, 10);
         assert!(large + 1e-9 >= small, "precision dropped with a larger pool: {small} -> {large}");
@@ -499,11 +510,18 @@ mod tests {
     fn search_stats_report_work_done() {
         let base = Arc::new(uniform(1000, 8, 51));
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
-        let res = index.search_with_stats(base.get(3), 5, 50);
+        let res = index.search_with_stats(base.get(3), &SearchRequest::new(5).with_effort(50));
         assert!(res.stats.distance_computations > 0);
         assert!(res.stats.hops > 0);
         assert!(res.stats.distance_computations < base.len() as u64,
             "graph search should touch far fewer points than a serial scan");
+        // The context fast path reports the same numbers.
+        let mut ctx = index.new_context();
+        let fast = index
+            .search_into(&mut ctx, &SearchRequest::new(5).with_effort(50).with_stats(), base.get(3))
+            .to_vec();
+        assert_eq!(fast, res.neighbors);
+        assert_eq!(ctx.stats(), res.stats);
     }
 
     #[test]

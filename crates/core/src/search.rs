@@ -7,20 +7,32 @@
 //! checked. Every graph method in the paper (GNNS, KGraph, Efanna, NSW, HNSW
 //! layers, FANNG, DPG, NSG) uses this same routine; only the graph differs.
 //!
-//! Two variants are provided:
-//! * [`search_on_graph`] — the plain Algorithm 1, returning the top-k pool
-//!   prefix,
-//! * [`search_collect`] — the "search-and-collect" routine of Algorithm 2 step
-//!   iii, which additionally records every node whose distance to the query
-//!   was evaluated; those visited nodes become the candidate set for MRNG-style
-//!   edge selection during NSG construction.
+//! Three variants are provided:
+//! * [`search_on_graph_into`] — the hot-path form: runs Algorithm 1 entirely
+//!   inside a reusable [`SearchContext`](crate::context::SearchContext) (zero
+//!   heap allocation after warm-up) and returns the top-k as a borrowed
+//!   [`Neighbor`] slice,
+//! * [`search_on_graph`] — allocating convenience over the same loop,
+//!   returning an owned [`SearchResult`],
+//! * [`search_collect`] — the "search-and-collect" routine of Algorithm 2
+//!   step iii, which additionally records every node whose distance to the
+//!   query was evaluated; those visited nodes become the candidate set for
+//!   MRNG-style edge selection during NSG construction.
 
+use crate::context::SearchContext;
 use crate::graph::DirectedGraph;
-use crate::neighbor::CandidatePool;
+use crate::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
 
-/// Parameters of Algorithm 1.
+/// Parameters of Algorithm 1 (the raw `(l, k)` pair).
+///
+/// On the query path these are always derived from a
+/// [`SearchRequest`](crate::index::SearchRequest) via
+/// [`SearchRequest::params`](crate::index::SearchRequest::params) — the one
+/// place the user-facing effort knob is translated into a pool size.
+/// Construction-time searches (Algorithm 2's search-collect, connectivity
+/// repair, NSW insertion) build them directly from their build parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SearchParams {
     /// Candidate pool size `l`. Larger pools explore more of the graph and
@@ -54,15 +66,31 @@ pub struct SearchStats {
     pub visited: u64,
 }
 
-/// Result of one search.
+impl SearchStats {
+    /// Accumulates another search's counters into this one (used when one
+    /// logical query fans out over shards or layers).
+    pub fn accumulate(&mut self, other: SearchStats) {
+        self.distance_computations += other.distance_computations;
+        self.hops += other.hops;
+        self.visited += other.visited;
+    }
+}
+
+/// Owned result of one search: scored neighbors (ascending distance) plus
+/// instrumentation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
-    /// Ids of the returned neighbors, ascending by distance.
-    pub ids: Vec<u32>,
-    /// Distances of the returned neighbors.
-    pub distances: Vec<f32>,
+    /// The returned neighbors, ascending by distance.
+    pub neighbors: Vec<Neighbor>,
     /// Search instrumentation.
     pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// The bare neighbor ids, best first.
+    pub fn ids(&self) -> Vec<u32> {
+        crate::neighbor::ids(&self.neighbors)
+    }
 }
 
 /// A reusable visited-set bitmap so repeated searches do not reallocate.
@@ -84,6 +112,25 @@ impl VisitedSet {
         Self {
             marks: vec![0; n],
             epoch: 1,
+        }
+    }
+
+    /// Number of nodes the set covers.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether the set covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Grows the set to cover at least `n` nodes (new nodes are unvisited in
+    /// every epoch). A no-op once the set is large enough, so reusing one
+    /// context across indices only ever pays the resize once per size.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
         }
     }
 
@@ -111,7 +158,9 @@ impl VisitedSet {
     }
 }
 
-#[allow(clippy::too_many_arguments)] // private plumbing shared by the two public search variants
+/// The Algorithm 1 main loop, running entirely inside `ctx`'s buffers.
+/// Optionally records every evaluated `(node, distance)` pair into `collect`.
+#[allow(clippy::too_many_arguments)] // private plumbing shared by the public search variants
 fn run_search<D: Distance + ?Sized>(
     graph: &DirectedGraph,
     base: &VectorSet,
@@ -119,52 +168,93 @@ fn run_search<D: Distance + ?Sized>(
     start_nodes: &[u32],
     params: SearchParams,
     metric: &D,
-    visited: &mut VisitedSet,
-    mut collect: Option<&mut Vec<(u32, f32)>>,
-) -> (CandidatePool, SearchStats) {
-    let mut pool = CandidatePool::new(params.pool_size);
-    let mut stats = SearchStats::default();
-    visited.next_epoch();
+    ctx: &mut SearchContext,
+    mut collect: Option<&mut Vec<Neighbor>>,
+) {
+    ctx.visited.ensure_capacity(base.len());
+    ctx.visited.next_epoch();
+    ctx.pool.reset(params.pool_size);
+    ctx.stats = SearchStats::default();
 
     for &s in start_nodes {
-        if (s as usize) < base.len() && visited.insert(s) {
+        if (s as usize) < base.len() && ctx.visited.insert(s) {
             let d = metric.distance(query, base.get(s as usize));
-            stats.distance_computations += 1;
-            stats.visited += 1;
+            ctx.stats.distance_computations += 1;
+            ctx.stats.visited += 1;
             if let Some(out) = collect.as_deref_mut() {
-                out.push((s, d));
+                out.push(Neighbor::new(s, d));
             }
-            pool.insert(s, d);
+            ctx.pool.insert(s, d);
         }
     }
 
     // Algorithm 1 main loop: expand the first unchecked candidate until the
     // pool is fully checked.
-    while let Some(idx) = pool.first_unchecked() {
-        let current = pool.mark_checked(idx);
-        stats.hops += 1;
+    while let Some(idx) = ctx.pool.first_unchecked() {
+        let current = ctx.pool.mark_checked(idx);
+        ctx.stats.hops += 1;
         for &n in graph.neighbors(current) {
-            if !visited.insert(n) {
+            if !ctx.visited.insert(n) {
                 continue;
             }
             let d = metric.distance(query, base.get(n as usize));
-            stats.distance_computations += 1;
-            stats.visited += 1;
+            ctx.stats.distance_computations += 1;
+            ctx.stats.visited += 1;
             if let Some(out) = collect.as_deref_mut() {
-                out.push((n, d));
+                out.push(Neighbor::new(n, d));
             }
-            pool.insert(n, d);
+            ctx.pool.insert(n, d);
         }
     }
-    (pool, stats)
+
+    ctx.results.clear();
+    ctx.pool.top_k_into(params.k, &mut ctx.results);
 }
 
-/// Algorithm 1: greedy best-first search on `graph` starting from
-/// `start_nodes`, returning the `k` best candidates found.
+/// Algorithm 1 on the context-reuse fast path: greedy best-first search on
+/// `graph` starting from `start_nodes`, writing the answer and stats into
+/// `ctx` and returning the top-k as a borrowed slice.
+///
+/// After the first call warms `ctx`'s buffers, this performs **zero heap
+/// allocation** per query (the `alloc_guard` integration test enforces it).
 ///
 /// `start_nodes` is usually a single node (the NSG navigating node, the HNSW
-/// layer entry, or a random node for KGraph/FANNG/DPG), but may contain
-/// several entry points (Efanna seeds the pool from KD-tree leaves).
+/// layer entry, or random nodes for KGraph/FANNG/DPG), but may contain many
+/// entries (Efanna seeds the pool from KD-tree leaves, the random-init
+/// methods fill the whole pool).
+pub fn search_on_graph_into<'a, D: Distance + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    query: &[f32],
+    start_nodes: &[u32],
+    params: SearchParams,
+    metric: &D,
+    ctx: &'a mut SearchContext,
+) -> &'a [Neighbor] {
+    run_search(graph, base, query, start_nodes, params, metric, ctx, None);
+    &ctx.results
+}
+
+/// Same as [`search_on_graph_into`] but seeds the search from the entry
+/// points previously placed in [`SearchContext::entries`] (e.g. by
+/// [`SearchContext::fill_random_entries`]), avoiding a per-query entry
+/// buffer allocation.
+pub fn search_from_context_entries<'a, D: Distance + ?Sized>(
+    graph: &DirectedGraph,
+    base: &VectorSet,
+    query: &[f32],
+    params: SearchParams,
+    metric: &D,
+    ctx: &'a mut SearchContext,
+) -> &'a [Neighbor] {
+    let entries = std::mem::take(&mut ctx.entries);
+    run_search(graph, base, query, &entries, params, metric, ctx, None);
+    ctx.entries = entries;
+    &ctx.results
+}
+
+/// Algorithm 1, allocating convenience: runs on a fresh context and returns
+/// an owned [`SearchResult`]. Prefer [`search_on_graph_into`] in loops.
 pub fn search_on_graph<D: Distance + ?Sized>(
     graph: &DirectedGraph,
     base: &VectorSet,
@@ -173,34 +263,18 @@ pub fn search_on_graph<D: Distance + ?Sized>(
     params: SearchParams,
     metric: &D,
 ) -> SearchResult {
-    let mut visited = VisitedSet::new(base.len());
-    search_on_graph_with(graph, base, query, start_nodes, params, metric, &mut visited)
-}
-
-/// Same as [`search_on_graph`] but reuses a caller-provided [`VisitedSet`],
-/// avoiding an O(n) allocation per query in the benchmark loops.
-pub fn search_on_graph_with<D: Distance + ?Sized>(
-    graph: &DirectedGraph,
-    base: &VectorSet,
-    query: &[f32],
-    start_nodes: &[u32],
-    params: SearchParams,
-    metric: &D,
-    visited: &mut VisitedSet,
-) -> SearchResult {
-    let (pool, stats) = run_search(graph, base, query, start_nodes, params, metric, visited, None);
-    let top = pool.top_k(params.k);
+    let mut ctx = SearchContext::for_points(base.len());
+    run_search(graph, base, query, start_nodes, params, metric, &mut ctx, None);
     SearchResult {
-        ids: top.iter().map(|&(id, _)| id).collect(),
-        distances: top.iter().map(|&(_, d)| d).collect(),
-        stats,
+        neighbors: std::mem::take(&mut ctx.results),
+        stats: ctx.stats,
     }
 }
 
 /// The "search-and-collect" routine of Algorithm 2: runs Algorithm 1 and also
-/// returns every `(node, distance)` pair whose distance to the query was
-/// computed along the way. These visited nodes are the candidate neighbors the
-/// NSG edge-selection prunes with the MRNG strategy.
+/// returns every scored node whose distance to the query was computed along
+/// the way. These visited nodes are the candidate neighbors the NSG
+/// edge-selection prunes with the MRNG strategy.
 pub fn search_collect<D: Distance + ?Sized>(
     graph: &DirectedGraph,
     base: &VectorSet,
@@ -208,25 +282,14 @@ pub fn search_collect<D: Distance + ?Sized>(
     start_nodes: &[u32],
     params: SearchParams,
     metric: &D,
-    visited: &mut VisitedSet,
-) -> (SearchResult, Vec<(u32, f32)>) {
+    ctx: &mut SearchContext,
+) -> (SearchResult, Vec<Neighbor>) {
     let mut collected = Vec::with_capacity(params.pool_size * 4);
-    let (pool, stats) = run_search(
-        graph,
-        base,
-        query,
-        start_nodes,
-        params,
-        metric,
-        visited,
-        Some(&mut collected),
-    );
-    let top = pool.top_k(params.k);
+    run_search(graph, base, query, start_nodes, params, metric, ctx, Some(&mut collected));
     (
         SearchResult {
-            ids: top.iter().map(|&(id, _)| id).collect(),
-            distances: top.iter().map(|&(_, d)| d).collect(),
-            stats,
+            neighbors: ctx.results.clone(),
+            stats: ctx.stats,
         },
         collected,
     )
@@ -259,9 +322,9 @@ mod tests {
     fn walks_a_line_to_the_query() {
         let (g, base) = line_graph(50);
         let res = search_on_graph(&g, &base, &[37.2], &[0], SearchParams::new(8, 3), &SquaredEuclidean);
-        assert_eq!(res.ids[0], 37);
-        assert_eq!(res.ids.len(), 3);
-        assert!(res.distances.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(res.neighbors[0].id, 37);
+        assert_eq!(res.neighbors.len(), 3);
+        assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
         assert!(res.stats.hops >= 37, "must hop along the whole line");
     }
 
@@ -269,15 +332,15 @@ mod tests {
     fn pool_size_one_is_pure_greedy_descent() {
         let (g, base) = line_graph(20);
         let res = search_on_graph(&g, &base, &[10.1], &[0], SearchParams::new(1, 1), &SquaredEuclidean);
-        assert_eq!(res.ids, vec![10]);
+        assert_eq!(res.ids(), vec![10]);
     }
 
     #[test]
     fn start_node_equal_to_answer_terminates() {
         let (g, base) = line_graph(10);
         let res = search_on_graph(&g, &base, &[4.0], &[4], SearchParams::new(4, 1), &SquaredEuclidean);
-        assert_eq!(res.ids, vec![4]);
-        assert_eq!(res.distances[0], 0.0);
+        assert_eq!(res.ids(), vec![4]);
+        assert_eq!(res.neighbors[0].dist, 0.0);
     }
 
     #[test]
@@ -291,7 +354,7 @@ mod tests {
             SearchParams::new(4, 1),
             &SquaredEuclidean,
         );
-        assert_eq!(res.ids, vec![29]);
+        assert_eq!(res.ids(), vec![29]);
         // Starting next to the target requires far fewer hops than the line length.
         assert!(res.stats.hops < 10);
     }
@@ -309,7 +372,7 @@ mod tests {
         g.add_edge(4, 3);
         let res = search_on_graph(&g, &base, &[11.0], &[0], SearchParams::new(4, 1), &SquaredEuclidean);
         // Only the first component is reachable, so the best answer is node 2.
-        assert_eq!(res.ids, vec![2]);
+        assert_eq!(res.ids(), vec![2]);
     }
 
     #[test]
@@ -333,13 +396,54 @@ mod tests {
         let res = search_on_graph(&g, &base, base.get(17), &[0], SearchParams::new(20, 5), &SquaredEuclidean);
         assert_eq!(res.stats.distance_computations, res.stats.visited);
         assert!(res.stats.visited <= 500);
-        assert!(!res.ids.is_empty());
+        assert!(!res.neighbors.is_empty());
+    }
+
+    #[test]
+    fn context_reuse_returns_identical_answers() {
+        let (g, base) = line_graph(60);
+        let mut ctx = SearchContext::for_points(base.len());
+        let params = SearchParams::new(8, 3);
+        let fresh: Vec<Vec<Neighbor>> = (0..10)
+            .map(|q| {
+                search_on_graph(&g, &base, &[q as f32 * 5.0 + 0.2], &[0], params, &SquaredEuclidean)
+                    .neighbors
+            })
+            .collect();
+        for (q, expect) in fresh.iter().enumerate() {
+            let got = search_on_graph_into(
+                &g,
+                &base,
+                &[q as f32 * 5.0 + 0.2],
+                &[0],
+                params,
+                &SquaredEuclidean,
+                &mut ctx,
+            );
+            assert_eq!(got, expect.as_slice(), "query {q} differs under context reuse");
+        }
+    }
+
+    #[test]
+    fn context_entries_variant_matches_explicit_starts() {
+        let (g, base) = line_graph(40);
+        let params = SearchParams::new(6, 2);
+        let mut ctx = SearchContext::for_points(base.len());
+        ctx.entries.clear();
+        ctx.entries.extend([0u32, 35]);
+        let via_ctx =
+            search_from_context_entries(&g, &base, &[33.0], params, &SquaredEuclidean, &mut ctx).to_vec();
+        let explicit =
+            search_on_graph(&g, &base, &[33.0], &[0, 35], params, &SquaredEuclidean).neighbors;
+        assert_eq!(via_ctx, explicit);
+        // The entry scratch survives the call for the next query.
+        assert_eq!(ctx.entries, vec![0, 35]);
     }
 
     #[test]
     fn search_collect_returns_every_evaluated_node() {
         let (g, base) = line_graph(40);
-        let mut visited = VisitedSet::new(base.len());
+        let mut ctx = SearchContext::for_points(base.len());
         let (res, collected) = search_collect(
             &g,
             &base,
@@ -347,13 +451,13 @@ mod tests {
             &[0],
             SearchParams::new(6, 2),
             &SquaredEuclidean,
-            &mut visited,
+            &mut ctx,
         );
         assert_eq!(collected.len() as u64, res.stats.visited);
         // The answer must be among the collected nodes.
-        assert!(collected.iter().any(|&(id, _)| id == res.ids[0]));
+        assert!(collected.iter().any(|n| n.id == res.neighbors[0].id));
         // No duplicates.
-        let mut ids: Vec<u32> = collected.iter().map(|&(id, _)| id).collect();
+        let mut ids: Vec<u32> = collected.iter().map(|n| n.id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), collected.len());
@@ -385,6 +489,20 @@ mod tests {
     }
 
     #[test]
+    fn visited_set_grows_without_forgetting_epochs() {
+        let mut v = VisitedSet::new(2);
+        v.next_epoch();
+        assert!(v.insert(1));
+        v.ensure_capacity(8);
+        assert_eq!(v.len(), 8);
+        assert!(v.contains(1), "growth must not lose current-epoch marks");
+        assert!(!v.contains(5), "grown slots must start unvisited");
+        assert!(v.insert(7));
+        v.ensure_capacity(4); // shrink requests are ignored
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
     fn out_of_range_start_nodes_are_ignored() {
         let (g, base) = line_graph(5);
         let res = search_on_graph(
@@ -395,7 +513,7 @@ mod tests {
             SearchParams::new(3, 1),
             &SquaredEuclidean,
         );
-        assert_eq!(res.ids, vec![2]);
+        assert_eq!(res.ids(), vec![2]);
     }
 
     #[test]

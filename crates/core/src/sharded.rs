@@ -7,10 +7,15 @@
 //! partition and merges the per-partition answers. [`ShardedNsg`] reproduces
 //! that design in-process: the base set is split into `p` random shards, an
 //! NSG is built per shard, and a query is answered by searching every shard
-//! and merging the top-k.
+//! and merging the top-k — all inside one reusable [`SearchContext`], with
+//! the merged answer expressed in the same [`Neighbor`] unit every other
+//! index returns (global ids, exact distances).
 
-use crate::index::{AnnIndex, SearchQuality};
+use crate::context::SearchContext;
+use crate::index::{AnnIndex, SearchRequest};
+use crate::neighbor::Neighbor;
 use crate::nsg::{NsgIndex, NsgParams};
+use crate::search::{search_on_graph_into, SearchStats};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::sample::random_partition;
 use nsg_vectors::VectorSet;
@@ -68,33 +73,53 @@ impl<D: Distance + Sync + Clone> ShardedNsg<D> {
     }
 
     /// Searches every shard and merges the per-shard answers into a global
-    /// top-k, returning `(global_id, distance)` pairs best-first.
+    /// top-k (allocating convenience over [`AnnIndex::search_into`]).
     ///
     /// This is the merge step the paper's distributed deployment performs
     /// after the per-machine searches return.
-    pub fn search_merged(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<(u32, f32)> {
-        let mut merged: Vec<(u32, f32)> = self
-            .shards
-            .iter()
-            .zip(&self.global_ids)
-            .flat_map(|(shard, ids)| {
-                let res = shard.search_with_stats(query, k, quality.effort.max(k));
-                res.ids
-                    .into_iter()
-                    .zip(res.distances)
-                    .map(|(local, dist)| (ids[local as usize], dist))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        merged.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        merged.truncate(k);
-        merged
+    pub fn search_merged(&self, query: &[f32], request: &SearchRequest) -> Vec<Neighbor> {
+        self.search(query, request)
     }
 }
 
 impl<D: Distance + Sync + Clone> AnnIndex for ShardedNsg<D> {
-    fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
-        self.search_merged(query, k, quality).into_iter().map(|(id, _)| id).collect()
+    fn new_context(&self) -> SearchContext {
+        let largest = self.shards.iter().map(|s| s.base().len()).max().unwrap_or(0);
+        SearchContext::for_points(largest)
+    }
+
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor] {
+        let params = request.params();
+        let mut stats = SearchStats::default();
+        ctx.scored.clear();
+        for (shard, ids) in self.shards.iter().zip(&self.global_ids) {
+            search_on_graph_into(
+                shard.graph(),
+                shard.base(),
+                query,
+                &[shard.navigating_node()],
+                params,
+                shard.metric(),
+                ctx,
+            );
+            stats.accumulate(ctx.stats);
+            // Remap the shard-local answer to global ids into the merge
+            // buffer (disjoint field borrows; no allocation once warm).
+            for i in 0..ctx.results.len() {
+                let nb = ctx.results[i];
+                ctx.scored.push(Neighbor::new(ids[nb.id as usize], nb.dist));
+            }
+        }
+        ctx.scored.sort_unstable_by(Neighbor::ordering);
+        ctx.scored.truncate(request.k);
+        std::mem::swap(&mut ctx.results, &mut ctx.scored);
+        ctx.stats = stats;
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -110,6 +135,7 @@ impl<D: Distance + Sync + Clone> AnnIndex for ShardedNsg<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::neighbor;
     use nsg_knn::NnDescentParams;
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::ground_truth::exact_knn;
@@ -133,8 +159,10 @@ mod tests {
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let sharded = ShardedNsg::build(&base, SquaredEuclidean, params(), 4, 5);
         assert_eq!(sharded.num_shards(), 4);
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| sharded.search(queries.get(q), 10, SearchQuality::new(80)))
+        let results: Vec<Vec<u32>> = sharded
+            .search_batch(&queries, &SearchRequest::new(10).with_effort(80))
+            .iter()
+            .map(|r| neighbor::ids(r))
             .collect();
         let precision = mean_precision(&results, &gt, 10);
         assert!(precision > 0.85, "sharded NSG precision too low: {precision}");
@@ -144,13 +172,29 @@ mod tests {
     fn merged_results_are_sorted_and_globally_indexed() {
         let base = deep_like(900, 21);
         let sharded = ShardedNsg::build(&base, SquaredEuclidean, params(), 3, 7);
-        let merged = sharded.search_merged(base.get(5), 8, SearchQuality::new(60));
+        let merged = sharded.search_merged(base.get(5), &SearchRequest::new(8).with_effort(60));
         assert_eq!(merged.len(), 8);
-        assert!(merged.windows(2).all(|w| w[0].1 <= w[1].1));
-        assert!(merged.iter().all(|&(id, _)| (id as usize) < base.len()));
+        assert!(merged.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert!(merged.iter().all(|nb| (nb.id as usize) < base.len()));
         // The query is a base vector, so the best hit should be itself.
-        assert_eq!(merged[0].0, 5);
-        assert_eq!(merged[0].1, 0.0);
+        assert_eq!(merged[0].id, 5);
+        assert_eq!(merged[0].dist, 0.0);
+    }
+
+    #[test]
+    fn context_reuse_accumulates_stats_across_shards() {
+        let base = deep_like(800, 23);
+        let sharded = ShardedNsg::build(&base, SquaredEuclidean, params(), 4, 2);
+        let mut ctx = sharded.new_context();
+        let request = SearchRequest::new(5).with_effort(40).with_stats();
+        let first = sharded.search_into(&mut ctx, &request, base.get(1)).to_vec();
+        let stats = ctx.stats();
+        assert!(stats.hops >= 4, "each probed shard contributes hops");
+        assert!(stats.distance_computations > 0);
+        // A second query through the same context answers identically to a
+        // fresh one.
+        let again = sharded.search(base.get(1), &request);
+        assert_eq!(first, again);
     }
 
     #[test]
@@ -158,17 +202,17 @@ mod tests {
         let base = deep_like(700, 31);
         let sharded = ShardedNsg::build(&base, SquaredEuclidean, params(), 1, 9);
         assert_eq!(sharded.num_shards(), 1);
-        let got = sharded.search(base.get(10), 5, SearchQuality::new(60));
-        assert_eq!(got[0], 10);
+        let got = sharded.search(base.get(10), &SearchRequest::new(5).with_effort(60));
+        assert_eq!(got[0].id, 10);
     }
 
     #[test]
     fn more_shards_than_points_still_works() {
         let base = deep_like(6, 41);
         let sharded = ShardedNsg::build(&base, SquaredEuclidean, params(), 10, 1);
-        let got = sharded.search(base.get(2), 3, SearchQuality::new(20));
+        let got = sharded.search(base.get(2), &SearchRequest::new(3).with_effort(20));
         assert_eq!(got.len(), 3);
-        assert_eq!(got[0], 2);
+        assert_eq!(got[0].id, 2);
     }
 
     #[test]

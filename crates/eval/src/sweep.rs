@@ -4,9 +4,14 @@
 //! each algorithm; every curve is produced by sweeping that algorithm's search
 //! effort knob (candidate pool size for graph methods, probes for IVFPQ/LSH,
 //! checks for KD-trees). [`sweep_index`] runs one such sweep against any
-//! [`AnnIndex`].
+//! [`AnnIndex`] on the batch path: **one** [`SearchContext`] is created per
+//! sweep and reused across every query and effort level, so the measured
+//! latencies reflect the allocation-free serving configuration, and each
+//! operating point reports the mean per-query instrumentation read back from
+//! the context.
 
-use nsg_core::index::{AnnIndex, SearchQuality};
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_vectors::ground_truth::GroundTruth;
 use nsg_vectors::metrics::mean_precision;
 use nsg_vectors::VectorSet;
@@ -24,12 +29,19 @@ pub struct SweepPoint {
     pub qps: f64,
     /// Mean per-query latency in microseconds.
     pub mean_latency_us: f64,
+    /// Mean distance computations per query (the cost axis of Figure 8),
+    /// read from the search context's per-query stats.
+    pub mean_distance_computations: f64,
+    /// Mean greedy hops per query (graph methods; 0 for the others).
+    pub mean_hops: f64,
 }
 
-/// Runs the query batch at every effort level and records precision and QPS.
+/// Runs the query batch at every effort level and records precision, QPS and
+/// mean per-query stats.
 ///
-/// Queries run single-threaded because the paper evaluates all algorithms with
-/// a single thread (§4.1.2).
+/// Queries run single-threaded through one reused context because the paper
+/// evaluates all algorithms with a single thread (§4.1.2); throughput-style
+/// parallel batching is [`AnnIndex::search_batch`]'s job.
 pub fn sweep_index(
     index: &dyn AnnIndex,
     queries: &VectorSet,
@@ -42,13 +54,21 @@ pub fn sweep_index(
         ground_truth.num_queries(),
         "query batch does not match the ground truth"
     );
+    let mut ctx: SearchContext = index.new_context();
     let mut points = Vec::with_capacity(efforts.len());
     for &effort in efforts {
-        let quality = SearchQuality::new(effort);
+        let request = SearchRequest::new(k).with_effort(effort).with_stats();
+        let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+        let mut distance_computations = 0u64;
+        let mut hops = 0u64;
         let start = Instant::now();
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), k, quality))
-            .collect();
+        for q in 0..queries.len() {
+            let neighbors = index.search_into(&mut ctx, &request, queries.get(q));
+            results.push(neighbors.iter().map(|nb| nb.id).collect());
+            let stats = ctx.stats();
+            distance_computations += stats.distance_computations;
+            hops += stats.hops;
+        }
         let elapsed = start.elapsed();
         let precision = mean_precision(&results, ground_truth, k);
         let n = queries.len().max(1) as f64;
@@ -58,6 +78,8 @@ pub fn sweep_index(
             precision,
             qps: n / secs,
             mean_latency_us: elapsed.as_micros() as f64 / n,
+            mean_distance_computations: distance_computations as f64 / n,
+            mean_hops: hops as f64 / n,
         });
     }
     points
@@ -81,6 +103,8 @@ pub fn effort_ladder(min: usize, max: usize, factor: f64) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nsg_core::neighbor::Neighbor;
+    use nsg_core::search::SearchStats;
     use nsg_vectors::distance::{Distance, SquaredEuclidean};
     use nsg_vectors::ground_truth::exact_knn;
     use nsg_vectors::synthetic::uniform;
@@ -91,16 +115,31 @@ mod tests {
     }
 
     impl AnnIndex for FakeIndex {
-        fn search(&self, query: &[f32], k: usize, quality: SearchQuality) -> Vec<u32> {
+        fn new_context(&self) -> SearchContext {
+            SearchContext::new()
+        }
+        fn search_into<'a>(
+            &self,
+            ctx: &'a mut SearchContext,
+            request: &SearchRequest,
+            query: &[f32],
+        ) -> &'a [Neighbor] {
             // Scan only the first `effort` base vectors: precision rises with
             // effort and reaches 1.0 when effort covers the whole base.
-            let limit = quality.effort.min(self.base.len());
-            let mut scored: Vec<(u32, f32)> = (0..limit)
-                .map(|i| (i as u32, SquaredEuclidean.distance(query, self.base.get(i))))
-                .collect();
-            scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
-            scored.truncate(k);
-            scored.into_iter().map(|(id, _)| id).collect()
+            let limit = request.quality.effort.min(self.base.len());
+            ctx.scored.clear();
+            ctx.scored.extend(
+                (0..limit).map(|i| Neighbor::new(i as u32, SquaredEuclidean.distance(query, self.base.get(i)))),
+            );
+            ctx.scored.sort_unstable_by(Neighbor::ordering);
+            ctx.scored.truncate(request.k);
+            std::mem::swap(&mut ctx.results, &mut ctx.scored);
+            ctx.stats = SearchStats {
+                distance_computations: limit as u64,
+                hops: 1,
+                visited: limit as u64,
+            };
+            &ctx.results
         }
         fn memory_bytes(&self) -> usize {
             0
@@ -129,6 +168,20 @@ mod tests {
         let ladder = effort_ladder(10, 320, 2.0);
         assert_eq!(ladder, vec![10, 20, 40, 80, 160, 320]);
         assert_eq!(*effort_ladder(7, 7, 1.5).last().unwrap(), 7);
+    }
+
+    #[test]
+    fn sweep_reports_per_query_stats_from_the_context() {
+        let base = uniform(300, 4, 3);
+        let queries = uniform(10, 4, 4);
+        let gt = exact_knn(&base, &queries, 3, &SquaredEuclidean);
+        let index = FakeIndex { base };
+        let points = sweep_index(&index, &queries, &gt, 3, &[50, 300]);
+        // The fake index performs exactly `effort` distance computations and
+        // one hop per query.
+        assert_eq!(points[0].mean_distance_computations, 50.0);
+        assert_eq!(points[1].mean_distance_computations, 300.0);
+        assert!(points.iter().all(|p| p.mean_hops == 1.0));
     }
 
     #[test]

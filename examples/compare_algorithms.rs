@@ -12,10 +12,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn sweep(name: &str, index: &dyn AnnIndex, queries: &VectorSet, gt: &nsg::vectors::ground_truth::GroundTruth, efforts: &[usize]) {
+    // One reused context across the whole sweep: the allocation-free path.
+    let mut ctx = index.new_context();
     for &effort in efforts {
+        let request = SearchRequest::new(10).with_effort(effort);
         let t = Instant::now();
         let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(effort)))
+            .map(|q| neighbor::ids(index.search_into(&mut ctx, &request, queries.get(q))))
             .collect();
         let qps = queries.len() as f64 / t.elapsed().as_secs_f64();
         let precision = mean_precision(&results, gt, 10);

@@ -1,5 +1,6 @@
 //! Quickstart: build an NSG over synthetic SIFT-like descriptors, run a batch
-//! of 10-NN queries, and report precision and throughput.
+//! of 10-NN queries through a reused search context, and report precision,
+//! throughput and per-query search cost.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -32,18 +33,40 @@ fn main() {
         index.navigating_node()
     );
 
-    // 4. Search with a few candidate-pool sizes (the effort knob of Figure 6).
+    // 4. Serving loop: one reusable context, swept over a few candidate-pool
+    //    sizes (the effort knob of Figure 6). After the first query warms the
+    //    context, each search performs zero heap allocation.
+    let mut ctx = index.new_context();
     for effort in [20usize, 50, 100, 200] {
+        let request = SearchRequest::new(k).with_effort(effort).with_stats();
+        let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+        let mut distance_computations = 0u64;
         let t = Instant::now();
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), k, SearchQuality::new(effort)))
-            .collect();
+        for q in 0..queries.len() {
+            let hits = index.search_into(&mut ctx, &request, queries.get(q));
+            results.push(hits.iter().map(|nb| nb.id).collect());
+            distance_computations += ctx.stats().distance_computations;
+        }
         let elapsed = t.elapsed();
         let precision = mean_precision(&results, &gt, k);
         println!(
-            "pool size {effort:>4}: precision {:.3}, {:.0} queries/s",
+            "pool size {effort:>4}: precision {:.3}, {:>7.0} queries/s, {:>5.0} distance calcs/query",
             precision,
-            queries.len() as f64 / elapsed.as_secs_f64()
+            queries.len() as f64 / elapsed.as_secs_f64(),
+            distance_computations as f64 / queries.len() as f64,
         );
     }
+
+    // 5. The same queries on the parallel batch path (one context per worker
+    //    thread); results arrive in query order with scored neighbors.
+    let request = SearchRequest::new(k).with_effort(100);
+    let t = Instant::now();
+    let batch = index.search_batch(&queries, &request);
+    println!(
+        "batch path: {} queries in {:.2?}; best hit of query 0 is id {} at distance {:.1}",
+        batch.len(),
+        t.elapsed(),
+        batch[0][0].id,
+        batch[0][0].dist,
+    );
 }

@@ -28,10 +28,13 @@ fn main() {
         sharded.memory_bytes() / 1024
     );
 
-    // Search: every shard is probed and the per-shard answers are merged.
+    // Search: every shard is probed inside one reused context and the
+    // per-shard answers are merged into globally-indexed scored neighbors.
+    let request = SearchRequest::new(k).with_effort(100);
+    let mut ctx = sharded.new_context();
     let t = Instant::now();
     let results: Vec<Vec<u32>> = (0..queries.len())
-        .map(|q| sharded.search(queries.get(q), k, SearchQuality::new(100)))
+        .map(|q| neighbor::ids(sharded.search_into(&mut ctx, &request, queries.get(q))))
         .collect();
     let elapsed = t.elapsed();
     println!(

@@ -1,70 +1,274 @@
 //! Offline stand-in for [rayon](https://crates.io/crates/rayon).
 //!
 //! The build container has no crates.io access, so this shim provides the
-//! subset of rayon's API the workspace uses — `par_iter` / `into_par_iter`
-//! from the prelude — implemented **sequentially** on top of the standard
-//! iterator machinery. Because the "parallel" iterators are real `std`
-//! iterators, every adapter (`map`, `filter`, `for_each`, `collect`, …)
-//! works unchanged, and swapping the real rayon back in is a manifest-only
+//! subset of rayon's API the workspace uses — `par_iter` / `into_par_iter` /
+//! `par_chunks` from the prelude — implemented as **genuinely parallel**
+//! fork/join over `std::thread::scope`: the source items are materialized,
+//! split into one contiguous chunk per worker, and the adapter pipeline
+//! (`map` / `filter` / `filter_map`) runs on every worker thread. Order is
+//! preserved by terminal adapters (`collect` concatenates per-chunk results
+//! in chunk order), so `map().collect()` pipelines stay deterministic
+//! regardless of the worker count.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be pinned with the `NSG_SHIM_THREADS` environment variable
+//! (`NSG_SHIM_THREADS=1` gives fully deterministic sequential execution,
+//! including for `for_each` pipelines that race on shared locks). Swapping
+//! the real rayon back in remains a one-line `[workspace.dependencies]`
 //! change.
 
-/// Runs two closures (sequentially here; in parallel in real rayon) and
-/// returns both results.
+use std::marker::PhantomData;
+use std::sync::OnceLock;
+
+/// Number of worker threads used by the shim's fork/join pools.
+///
+/// Reads `NSG_SHIM_THREADS` once (values below 1 are clamped to 1); falls
+/// back to the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("NSG_SHIM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Runs two closures — in parallel on a scoped thread when more than one
+/// worker is configured — and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            (ra, rb)
+        })
+    } else {
+        (a(), b())
+    }
 }
 
-/// Returns the number of "worker threads" — always 1 in the sequential shim.
-pub fn current_num_threads() -> usize {
-    1
+/// Applies `op` to every item on a scoped worker pool, preserving item order
+/// in the output. `None` results are dropped (this is how `filter` /
+/// `filter_map` compose into the pipeline).
+fn run<S, T, F>(items: Vec<S>, op: &F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> Option<T> + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().filter_map(op).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut iter = items.into_iter();
+        loop {
+            let chunk: Vec<S> = iter.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            handles.push(s.spawn(move || chunk.into_iter().filter_map(op).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    out
 }
 
-pub mod iter {
-    /// Anything that can be turned into an iterator can be turned into a
-    /// "parallel" iterator. The iterator returned is the plain sequential one.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+/// A materialized "parallel iterator": the source items plus the composed
+/// per-item pipeline. Adapters compose the pipeline; terminal operations
+/// (`collect`, `for_each`, `sum`, `count`) execute it on the worker pool.
+pub struct ParIter<S, T, F>
+where
+    F: Fn(S) -> Option<T>,
+{
+    items: Vec<S>,
+    op: F,
+    _stage: PhantomData<fn(S) -> T>,
+}
+
+/// Entry-point pipeline type: the identity stage over freshly materialized
+/// items.
+pub type ParSource<S> = ParIter<S, S, fn(S) -> Option<S>>;
+
+impl<S: Send> ParSource<S> {
+    fn from_items(items: Vec<S>) -> Self {
+        ParIter {
+            items,
+            op: Some,
+            _stage: PhantomData,
+        }
+    }
+}
+
+impl<S, T, F> ParIter<S, T, F>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> Option<T> + Sync,
+{
+    /// Maps every item through `g` on the worker pool.
+    pub fn map<U, G>(self, g: G) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let op = self.op;
+        ParIter {
+            items: self.items,
+            op: move |s| op(s).map(&g),
+            _stage: PhantomData,
         }
     }
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+    /// Keeps only the items `p` accepts.
+    pub fn filter<P>(self, p: P) -> ParIter<S, T, impl Fn(S) -> Option<T> + Sync>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let op = self.op;
+        ParIter {
+            items: self.items,
+            op: move |s| op(s).filter(|t| p(t)),
+            _stage: PhantomData,
+        }
+    }
+
+    /// `map` and `filter` in one step.
+    pub fn filter_map<U, G>(self, g: G) -> ParIter<S, U, impl Fn(S) -> Option<U> + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> Option<U> + Sync,
+    {
+        let op = self.op;
+        ParIter {
+            items: self.items,
+            op: move |s| op(s).and_then(&g),
+            _stage: PhantomData,
+        }
+    }
+
+    /// Runs `g` for every item on the worker pool. Side effects on shared
+    /// state race across workers exactly as with real rayon; pin
+    /// `NSG_SHIM_THREADS=1` for deterministic runs.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let op = self.op;
+        let _ = run(self.items, &move |s| -> Option<()> {
+            if let Some(t) = op(s) {
+                g(t);
+            }
+            None
+        });
+    }
+
+    /// Executes the pipeline and collects the results in source order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        run(self.items, &self.op).into_iter().collect()
+    }
+
+    /// Executes the pipeline and sums the results.
+    pub fn sum<R>(self) -> R
+    where
+        R: std::iter::Sum<T> + Send,
+    {
+        run(self.items, &self.op).into_iter().sum()
+    }
+
+    /// Executes the pipeline and counts the surviving items.
+    pub fn count(self) -> usize {
+        run(self.items, &self.op).len()
+    }
+}
+
+pub mod iter {
+    use super::ParSource;
+
+    /// Anything that can be turned into an iterator of `Send` items can be
+    /// turned into a parallel iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        fn into_par_iter(self) -> ParSource<Self::Item> {
+            ParSource::from_items(self.into_iter().collect())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T where T::Item: Send {}
 
     /// `par_iter()` — borrow-based variant, mirroring
     /// `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send + 'data;
+        fn par_iter(&'data self) -> ParSource<Self::Item>;
     }
 
     impl<'data, T: ?Sized + 'data> IntoParallelRefIterator<'data> for T
     where
         &'data T: IntoIterator,
+        <&'data T as IntoIterator>::Item: Send,
     {
-        type Iter = <&'data T as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        type Item = <&'data T as IntoIterator>::Item;
+        fn par_iter(&'data self) -> ParSource<Self::Item> {
+            ParSource::from_items(self.into_iter().collect())
         }
     }
 
     /// `par_iter_mut()` — mutable-borrow variant, mirroring
     /// `rayon::iter::IntoParallelRefMutIterator`.
     pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+        type Item: Send + 'data;
+        fn par_iter_mut(&'data mut self) -> ParSource<Self::Item>;
     }
 
     impl<'data, T: ?Sized + 'data> IntoParallelRefMutIterator<'data> for T
     where
         &'data mut T: IntoIterator,
+        <&'data mut T as IntoIterator>::Item: Send,
     {
-        type Iter = <&'data mut T as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
+        type Item = <&'data mut T as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> ParSource<Self::Item> {
+            ParSource::from_items(self.into_iter().collect())
+        }
+    }
+}
+
+pub mod slice {
+    use super::ParSource;
+
+    /// `par_chunks()` over slices, mirroring `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T: Sync> {
+        /// Splits the slice into contiguous chunks of at most `chunk_size`
+        /// items, processed in parallel by the pipeline's terminal adapter.
+        fn par_chunks(&self, chunk_size: usize) -> ParSource<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParSource<&[T]> {
+            ParSource::from_items(self.chunks(chunk_size.max(1)).collect())
         }
     }
 }
@@ -73,11 +277,13 @@ pub mod prelude {
     pub use crate::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
     };
+    pub use crate::slice::ParallelSlice;
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -91,8 +297,59 @@ mod tests {
     }
 
     #[test]
+    fn collect_preserves_source_order_at_scale() {
+        // Enough items that every worker gets a non-trivial chunk.
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out.len(), n);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn filter_and_filter_map_compose() {
+        let evens: Vec<usize> = (0..100usize).into_par_iter().filter(|&x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        assert_eq!(evens[3], 6);
+        let odds: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|x| if x % 2 == 1 { Some(x) } else { None })
+            .collect();
+        assert_eq!(odds[0], 1);
+        let c = (0..1000usize).into_par_iter().filter(|&x| x < 10).count();
+        assert_eq!(c, 10);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        (0..5000usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5000);
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice_in_order() {
+        let data: Vec<u32> = (0..103).collect();
+        let chunk_sums: Vec<(usize, u32)> =
+            data.par_chunks(10).map(|c| (c.len(), c.iter().sum())).collect();
+        assert_eq!(chunk_sums.len(), 11);
+        assert_eq!(chunk_sums[0], (10, (0..10).sum()));
+        assert_eq!(chunk_sums[10], (3, 100 + 101 + 102));
+        let total: u32 = chunk_sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, (0..103).sum());
+    }
+
+    #[test]
     fn join_runs_both() {
         let (a, b) = crate::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }

@@ -12,26 +12,49 @@
 //! * [`vectors`] — dense-vector substrate (storage, distances, I/O, synthetic
 //!   datasets, ground truth, metrics, LID),
 //! * [`knn`] — kNN-graph construction (NN-Descent and exact),
-//! * [`core`] — MRNG, NSG, search-on-graph, graph analytics, serialization,
-//!   sharded search,
+//! * [`core`] — MRNG, NSG, search-on-graph, the query API
+//!   (`SearchRequest` / `Neighbor` / `SearchContext`), graph analytics,
+//!   serialization, sharded search,
 //! * [`baselines`] — the compared methods (KD-trees, LSH, IVF-PQ, KGraph,
 //!   Efanna, NSW, HNSW, FANNG, DPG, NSG-Naive, serial scan),
 //! * [`eval`] — QPS/precision sweeps, scaling fits, report emission.
 //!
 //! ## Quickstart
 //!
+//! Every index answers queries through the same three-type surface: a
+//! [`SearchRequest`](nsg_core::index::SearchRequest) describes the query
+//! (`k`, effort, stats opt-in), results come back as scored
+//! [`Neighbor`](nsg_core::neighbor::Neighbor)s (id **and** distance), and a
+//! reusable [`SearchContext`](nsg_core::context::SearchContext) makes the hot
+//! loop allocation-free.
+//!
 //! ```
 //! use nsg::prelude::*;
 //! use std::sync::Arc;
 //!
-//! // Index 2,000 synthetic SIFT-like vectors and run a 10-NN query.
+//! // Index 2,000 synthetic SIFT-like vectors.
 //! let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 2000, 10, 42);
 //! let base = Arc::new(base);
 //! let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, NsgParams::default());
-//! let neighbors = index.search(queries.get(0), 10, SearchQuality::new(100));
+//!
+//! // One-off convenience: a fresh context under the hood.
+//! let request = SearchRequest::new(10).with_effort(100);
+//! let neighbors = index.search(queries.get(0), &request);
 //! assert_eq!(neighbors.len(), 10);
+//! assert!(neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+//!
+//! // Serving loop: reuse one context per thread — zero allocation once warm.
+//! let mut ctx = index.new_context();
+//! for q in 0..queries.len() {
+//!     let hits = index.search_into(&mut ctx, &request.with_stats(), queries.get(q));
+//!     assert_eq!(hits.len(), 10);
+//!     assert!(ctx.stats().distance_computations > 0);
+//! }
+//!
+//! // Batch path: one context per worker thread, results in query order.
+//! let batch = index.search_batch(&queries, &request);
+//! assert_eq!(batch.len(), queries.len());
 //! ```
-
 pub use nsg_baselines as baselines;
 pub use nsg_core as core;
 pub use nsg_eval as eval;
@@ -44,9 +67,11 @@ pub mod prelude {
         DpgIndex, EfannaIndex, FanngIndex, HnswIndex, IvfPq, KGraphIndex, KdForest, LshIndex,
         NsgNaiveIndex, NswIndex, SerialScan,
     };
-    pub use nsg_core::index::{AnnIndex, SearchQuality};
+    pub use nsg_core::context::SearchContext;
+    pub use nsg_core::index::{AnnIndex, SearchQuality, SearchRequest};
+    pub use nsg_core::neighbor::{self, Neighbor};
     pub use nsg_core::nsg::{NsgIndex, NsgParams};
-    pub use nsg_core::search::{search_on_graph, SearchParams};
+    pub use nsg_core::search::{search_on_graph, search_on_graph_into, SearchParams, SearchStats};
     pub use nsg_core::sharded::ShardedNsg;
     pub use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
     pub use nsg_vectors::distance::{Distance, Euclidean, InnerProduct, SquaredEuclidean};
@@ -66,7 +91,8 @@ mod tests {
         let (base, queries) = base_and_queries(SyntheticKind::RandUniform, 300, 5, 1);
         let base = Arc::new(base);
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, NsgParams::default());
-        let res = index.search(queries.get(0), 5, SearchQuality::new(50));
+        let res = index.search(queries.get(0), &SearchRequest::new(5).with_effort(50));
         assert_eq!(res.len(), 5);
+        assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
     }
 }

@@ -1,0 +1,152 @@
+//! Allocation-regression guard for the query hot path.
+//!
+//! The `SearchContext` contract promises that `search_into` performs **zero
+//! heap allocation once the context is warm** — that is the whole point of
+//! the context-reuse API, and the property the `search_on_graph` bench
+//! measures. This test enforces it with a tracking global allocator: after a
+//! few warm-up searches, a batch of queries through the same context must not
+//! allocate at all. Counting is thread-local so the test harness's own
+//! threads cannot pollute the measurement.
+
+use nsg::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Passes everything through to the system allocator, counting allocations
+/// made while the current thread has tracking enabled.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.with(|t| t.get()) {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow in place still reserves fresh capacity: count it.
+        if TRACKING.with(|t| t.get()) {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with allocation tracking enabled and returns how many heap
+/// allocations it performed on this thread.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.with(|c| c.set(0));
+    TRACKING.with(|t| t.set(true));
+    f();
+    TRACKING.with(|t| t.set(false));
+    ALLOCATIONS.with(|c| c.get())
+}
+
+#[test]
+fn nsg_search_into_is_allocation_free_after_warmup() {
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 40, 7);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 50,
+            max_degree: 24,
+            knn: NnDescentParams { k: 36, ..Default::default() },
+            reverse_insert: true,
+            seed: 5,
+        },
+    );
+    let request = SearchRequest::new(10).with_effort(100).with_stats();
+    let mut ctx = index.new_context();
+
+    // Warm-up: the first searches grow the pool / result buffers.
+    for q in 0..4 {
+        let hits = index.search_into(&mut ctx, &request, queries.get(q));
+        assert_eq!(hits.len(), 10);
+    }
+
+    // Warm path: not a single heap allocation across the whole batch.
+    let allocations = count_allocations(|| {
+        for q in 0..queries.len() {
+            let hits = index.search_into(&mut ctx, &request, queries.get(q));
+            assert_eq!(hits.len(), 10);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "search_into allocated {allocations} times across {} queries after warm-up",
+        queries.len()
+    );
+
+    // The sanity half of the guard: the tracking machinery itself must see
+    // the allocations of a cold-context search, or a silent tracking failure
+    // would make the assertion above vacuous.
+    let cold = count_allocations(|| {
+        let mut fresh = index.new_context();
+        let _ = index.search_into(&mut fresh, &request, queries.get(0));
+    });
+    assert!(cold > 0, "tracking allocator failed to observe cold-context allocations");
+}
+
+#[test]
+fn raw_search_on_graph_into_is_allocation_free_after_warmup() {
+    // Same guard one level down, on the shared Algorithm 1 routine every
+    // graph index funnels through (the configuration the
+    // `search_on_graph` bench measures).
+    let (base, queries) = base_and_queries(SyntheticKind::DeepLike, 1000, 20, 11);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 40,
+            max_degree: 20,
+            knn: NnDescentParams { k: 30, ..Default::default() },
+            reverse_insert: true,
+            seed: 9,
+        },
+    );
+    let params = SearchParams::new(80, 10);
+    let mut ctx = SearchContext::for_points(base.len());
+    for q in 0..4 {
+        search_on_graph_into(
+            index.graph(),
+            &base,
+            queries.get(q),
+            &[index.navigating_node()],
+            params,
+            &SquaredEuclidean,
+            &mut ctx,
+        );
+    }
+    let allocations = count_allocations(|| {
+        for q in 0..queries.len() {
+            let hits = search_on_graph_into(
+                index.graph(),
+                &base,
+                queries.get(q),
+                &[index.navigating_node()],
+                params,
+                &SquaredEuclidean,
+                &mut ctx,
+            );
+            assert_eq!(hits.len(), 10);
+        }
+    });
+    assert_eq!(allocations, 0, "search_on_graph_into allocated {allocations} times after warm-up");
+}

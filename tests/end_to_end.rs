@@ -2,11 +2,15 @@
 //! NN-Descent → Algorithm 2 → search → precision) and its interaction with
 //! serialization and sharding.
 
-use nsg::core::serialize::{graph_from_bytes, graph_to_bytes};
+use nsg::core::serialize::{graph_from_bytes, graph_to_bytes, load_graph, save_graph};
 use nsg::core::stats::reachable_count;
 use nsg::knn::NnDescentParams;
 use nsg::prelude::*;
 use std::sync::Arc;
+
+fn batch_ids(index: &dyn AnnIndex, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<u32>> {
+    index.search_batch(queries, request).iter().map(|r| neighbor::ids(r)).collect()
+}
 
 fn test_params() -> NsgParams {
     NsgParams {
@@ -38,9 +42,7 @@ fn full_pipeline_reaches_high_precision_on_every_dataset_kind() {
         let base = Arc::new(base);
         let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
         let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, test_params());
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 10, SearchQuality::new(300)))
-            .collect();
+        let results = batch_ids(&index, &queries, &SearchRequest::new(10).with_effort(300));
         let precision = mean_precision(&results, &gt, 10);
         assert!(
             precision > threshold,
@@ -65,11 +67,48 @@ fn serialized_index_answers_identically_after_reload() {
     let (graph, nav) = graph_from_bytes(&bytes).expect("valid serialized graph");
     let reloaded = NsgIndex::from_parts(Arc::clone(&base), SquaredEuclidean, graph, nav, *index.params());
 
+    let request = SearchRequest::new(10).with_effort(100);
     for q in 0..queries.len() {
-        let a = index.search(queries.get(q), 10, SearchQuality::new(100));
-        let b = reloaded.search(queries.get(q), 10, SearchQuality::new(100));
+        let a = index.search(queries.get(q), &request);
+        let b = reloaded.search(queries.get(q), &request);
         assert_eq!(a, b, "query {q} differs after the serialization round-trip");
     }
+}
+
+#[test]
+fn on_disk_persistence_roundtrip_reproduces_identical_neighbors() {
+    // Full persistence cycle: build -> save_graph -> load_graph -> from_parts
+    // must reproduce bit-identical scored `Neighbor` answers on 50 queries.
+    let (base, queries) = base_and_queries(SyntheticKind::DeepLike, 1200, 50, 99);
+    assert_eq!(queries.len(), 50);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, test_params());
+
+    let dir = std::env::temp_dir().join(format!("nsg_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("index.nsg");
+    save_graph(&path, index.graph(), index.navigating_node()).expect("save");
+    let (graph, nav) = load_graph(&path).expect("load");
+    assert_eq!(&graph, index.graph());
+    assert_eq!(nav, index.navigating_node());
+    let reloaded = NsgIndex::from_parts(Arc::clone(&base), SquaredEuclidean, graph, nav, *index.params());
+
+    // Compare through reused contexts on both sides — the serving path.
+    let request = SearchRequest::new(10).with_effort(120).with_stats();
+    let mut ctx_a = index.new_context();
+    let mut ctx_b = reloaded.new_context();
+    for q in 0..queries.len() {
+        let a: Vec<Neighbor> = index.search_into(&mut ctx_a, &request, queries.get(q)).to_vec();
+        let b: Vec<Neighbor> = reloaded.search_into(&mut ctx_b, &request, queries.get(q)).to_vec();
+        assert_eq!(a, b, "query {q} differs after the on-disk round-trip");
+        assert_eq!(
+            ctx_a.stats(),
+            ctx_b.stats(),
+            "query {q} search cost differs after the on-disk round-trip"
+        );
+        assert!(a.windows(2).all(|w| Neighbor::ordering(&w[0], &w[1]).is_le()));
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -80,11 +119,12 @@ fn sharded_and_flat_nsg_agree_on_easy_queries() {
     let sharded = ShardedNsg::build(&base, SquaredEuclidean, test_params(), 3, 5);
 
     // Self-queries: both must return the query point itself first.
+    let request = SearchRequest::new(1).with_effort(80);
     let mut agree = 0;
     let total = 20;
     for v in (0..base.len()).step_by(base.len() / total) {
-        let a = flat.search(base.get(v), 1, SearchQuality::new(80));
-        let b = sharded.search(base.get(v), 1, SearchQuality::new(80));
+        let a = flat.search(base.get(v), &request);
+        let b = sharded.search(base.get(v), &request);
         if a == b {
             agree += 1;
         }
@@ -118,19 +158,28 @@ fn every_algorithm_implements_the_common_index_interface() {
         Box::new(SerialScan::new((*base).clone(), SquaredEuclidean)),
     ];
 
+    let request = SearchRequest::new(5).with_effort(400);
     for index in &indices {
-        let results: Vec<Vec<u32>> = (0..queries.len())
-            .map(|q| index.search(queries.get(q), 5, SearchQuality::new(400)))
-            .collect();
-        for (q, r) in results.iter().enumerate() {
+        let batch = index.search_batch(&queries, &request);
+        for (q, r) in batch.iter().enumerate() {
             assert!(
                 r.len() <= 5 && !r.is_empty(),
-                "{}: query {q} returned {} ids",
+                "{}: query {q} returned {} neighbors",
                 index.name(),
                 r.len()
             );
-            assert!(r.iter().all(|&id| (id as usize) < base.len()), "{}: id out of range", index.name());
+            assert!(
+                r.iter().all(|nb| (nb.id as usize) < base.len()),
+                "{}: id out of range",
+                index.name()
+            );
+            assert!(
+                r.windows(2).all(|w| w[0].dist <= w[1].dist),
+                "{}: query {q} results not sorted by distance",
+                index.name()
+            );
         }
+        let results: Vec<Vec<u32>> = batch.iter().map(|r| neighbor::ids(r)).collect();
         let precision = mean_precision(&results, &gt, 5);
         assert!(
             precision > 0.5,
@@ -156,9 +205,7 @@ fn fvecs_roundtrip_feeds_the_indexing_pipeline() {
     let base = Arc::new(reloaded);
     let gt = exact_knn(&base, &queries, 5, &SquaredEuclidean);
     let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, test_params());
-    let results: Vec<Vec<u32>> = (0..queries.len())
-        .map(|q| index.search(queries.get(q), 5, SearchQuality::new(100)))
-        .collect();
+    let results = batch_ids(&index, &queries, &SearchRequest::new(5).with_effort(100));
     assert!(mean_precision(&results, &gt, 5) > 0.8);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -62,13 +62,13 @@ proptest! {
         cap in 1usize..8,
     ) {
         let node = base.get(0).to_vec();
-        let mut candidates: Vec<(u32, f32)> = (1..base.len() as u32)
-            .map(|q| (q, SquaredEuclidean.distance(&node, base.get(q as usize))))
+        let mut candidates: Vec<Neighbor> = (1..base.len() as u32)
+            .map(|q| Neighbor::new(q, SquaredEuclidean.distance(&node, base.get(q as usize))))
             .collect();
-        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_by(Neighbor::ordering);
         let selected = mrng_select(&base, &node, &candidates, cap, &SquaredEuclidean);
         prop_assert!(selected.len() <= cap);
-        let candidate_ids: Vec<u32> = candidates.iter().map(|&(id, _)| id).collect();
+        let candidate_ids: Vec<u32> = candidates.iter().map(|c| c.id).collect();
         let mut seen = std::collections::HashSet::new();
         for id in &selected {
             prop_assert!(candidate_ids.contains(id));
@@ -76,7 +76,7 @@ proptest! {
         }
         if !candidates.is_empty() {
             // The closest candidate always survives.
-            prop_assert_eq!(selected.first().copied(), Some(candidates[0].0));
+            prop_assert_eq!(selected.first().copied(), Some(candidates[0].id));
         }
     }
 
