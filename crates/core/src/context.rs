@@ -135,6 +135,57 @@ impl Default for SearchContext {
     }
 }
 
+/// A lazily created, **worker-pinned** [`SearchContext`] — the one shared
+/// helper behind every "one context per worker thread" call site:
+/// [`AnnIndex::search_batch`](crate::index::AnnIndex::search_batch) hands one
+/// to each fork-join worker via the rayon `map_init` hook, and `nsg-serve`
+/// pins one to each long-lived serving thread.
+///
+/// The context is created from the **first** index searched (pre-sized for
+/// it) and then reused for every later query — including queries against a
+/// *different* index, as the context-reuse contract allows: buffers grow once
+/// per new high-water mark (e.g. after a hot-swap to a larger index) and stay
+/// warm after, so the steady-state query path allocates nothing.
+#[derive(Debug, Default)]
+pub struct PinnedContext {
+    ctx: Option<SearchContext>,
+}
+
+impl PinnedContext {
+    /// Creates an empty pin; the context materializes on the first search.
+    pub fn new() -> Self {
+        Self { ctx: None }
+    }
+
+    /// Answers one query on `index`, creating the context on first use and
+    /// reusing it afterwards. Returns the scored neighbors exactly as
+    /// [`AnnIndex::search_into`](crate::index::AnnIndex::search_into) does;
+    /// [`results`](Self::results) and [`stats`](Self::stats) hold the same
+    /// answer until the next search.
+    pub fn search<'a, I>(
+        &'a mut self,
+        index: &I,
+        request: &crate::index::SearchRequest,
+        query: &[f32],
+    ) -> &'a [Neighbor]
+    where
+        I: crate::index::AnnIndex + ?Sized,
+    {
+        let ctx = self.ctx.get_or_insert_with(|| index.new_context());
+        index.search_into(ctx, request, query)
+    }
+
+    /// The answer of the last [`search`](Self::search) (empty before any).
+    pub fn results(&self) -> &[Neighbor] {
+        self.ctx.as_ref().map(|c| c.results()).unwrap_or(&[])
+    }
+
+    /// Instrumentation of the last [`search`](Self::search).
+    pub fn stats(&self) -> SearchStats {
+        self.ctx.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

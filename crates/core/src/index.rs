@@ -14,7 +14,7 @@
 //! [`search_batch`](AnnIndex::search_batch) conveniences are built on top of
 //! it — the batch path amortizes one context per worker thread.
 
-use crate::context::SearchContext;
+use crate::context::{PinnedContext, SearchContext};
 use crate::neighbor::Neighbor;
 use crate::search::{SearchParams, SearchResult};
 use nsg_vectors::VectorSet;
@@ -174,29 +174,21 @@ pub trait AnnIndex: Send + Sync {
     /// worker thread (parallel across the queries; results are returned in
     /// query order regardless of the worker count).
     ///
-    /// The batch is split into one contiguous chunk per worker — maximal
-    /// context amortization at the price of no work-stealing between
-    /// workers. With heavily skewed per-query cost (or under real rayon,
-    /// where `map_init` offers balanced per-worker state), smaller chunks
-    /// would balance better; revisit when a serving PR measures it.
+    /// The per-worker context comes from the same [`PinnedContext`] helper
+    /// the `nsg-serve` worker threads pin — one shared definition of the
+    /// "one context per worker" pattern — threaded through rayon's
+    /// `map_init` hook so each worker materializes its context once.
     fn search_batch(&self, queries: &VectorSet, request: &SearchRequest) -> Vec<Vec<Neighbor>> {
         let n = queries.len();
         if n == 0 {
             return Vec::new();
         }
-        let indices: Vec<usize> = (0..n).collect();
-        let chunk = n.div_ceil(rayon::current_num_threads()).max(1);
-        let per_chunk: Vec<Vec<Vec<Neighbor>>> = indices
-            .par_chunks(chunk)
-            .map(|chunk| {
-                let mut ctx = self.new_context();
-                chunk
-                    .iter()
-                    .map(|&q| self.search_into(&mut ctx, request, queries.get(q)).to_vec())
-                    .collect()
+        (0..n)
+            .into_par_iter()
+            .map_init(PinnedContext::new, |pinned, q| {
+                pinned.search(self, request, queries.get(q)).to_vec()
             })
-            .collect();
-        per_chunk.into_iter().flatten().collect()
+            .collect()
     }
 }
 
@@ -265,6 +257,44 @@ mod tests {
         assert_eq!(neighbor::ids(&res), vec![0, 1, 2]);
         assert_eq!(b.memory_bytes(), 42);
         assert_eq!(b.name(), "dummy");
+    }
+
+    #[test]
+    fn arc_trait_object_is_shareable_across_threads() {
+        // The serving subsystem's snapshot type: an `Arc<dyn AnnIndex>`
+        // cloned into concurrent workers. Object safety plus the Send + Sync
+        // supertraits must keep this compiling and working.
+        use std::sync::Arc;
+        let index: Arc<dyn AnnIndex> = Arc::new(Dummy);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let index = Arc::clone(&index);
+                std::thread::spawn(move || {
+                    let mut pinned = PinnedContext::new();
+                    let got = pinned
+                        .search(index.as_ref(), &SearchRequest::new(2).with_effort(10), &[0.0])
+                        .to_vec();
+                    neighbor::ids(&got)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn pinned_context_reuses_across_indices() {
+        let mut pinned = PinnedContext::new();
+        assert!(pinned.results().is_empty());
+        let a = Dummy;
+        let b: Box<dyn AnnIndex> = Box::new(Dummy);
+        let r1 = pinned.search(&a, &SearchRequest::new(3).with_effort(10), &[0.0]).to_vec();
+        assert_eq!(neighbor::ids(&r1), vec![0, 1, 2]);
+        // Same pin, different index (a trait object): context carries over.
+        let r2 = pinned.search(b.as_ref(), &SearchRequest::new(1).with_effort(10), &[0.0]).to_vec();
+        assert_eq!(neighbor::ids(&r2), vec![0]);
+        assert_eq!(pinned.results(), r2.as_slice());
     }
 
     #[test]

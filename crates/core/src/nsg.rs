@@ -127,35 +127,39 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let nav_result = search_on_graph(&knn_graph, &base, &centroid, &[random_start], nav_params, &metric);
         let navigating_node = nav_result.neighbors.first().map(|nb| nb.id).unwrap_or(random_start);
 
-        // Step iii: search-collect-select for every node, in parallel (one
-        // search context per node task; real-rayon-style worker reuse would
-        // thread one per worker).
+        // Step iii: search-collect-select for every node, in parallel. The
+        // search context is worker-pinned via `map_init` (one per worker for
+        // the whole pass, not one per node task), so the builds stop paying a
+        // context allocation per node; every search resets the context state
+        // it uses, keeping results identical at any worker count.
         let m = params.max_degree.max(1);
         let collect_params = SearchParams::new(params.build_pool_size, params.build_pool_size);
         let selected: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
-            .map(|v| {
-                let query = base.get(v);
-                let mut ctx = SearchContext::for_points(n);
-                let (_, mut candidates) = search_collect(
-                    &knn_graph,
-                    &base,
-                    query,
-                    &[navigating_node],
-                    collect_params,
-                    &metric,
-                    &mut ctx,
-                );
-                // Add v's kNN neighbors (they carry the approximate NNG, which
-                // is essential for monotonicity — Figure 4).
-                for nb in knn.neighbors(v as u32) {
-                    candidates.push(Neighbor::new(nb.id, nb.dist));
-                }
-                candidates.retain(|c| c.id as usize != v);
-                candidates.sort_unstable_by(Neighbor::ordering);
-                candidates.dedup_by_key(|c| c.id);
-                mrng_select(&base, query, &candidates, m, &metric)
-            })
+            .map_init(
+                || SearchContext::for_points(n),
+                |ctx, v| {
+                    let query = base.get(v);
+                    let (_, mut candidates) = search_collect(
+                        &knn_graph,
+                        &base,
+                        query,
+                        &[navigating_node],
+                        collect_params,
+                        &metric,
+                        ctx,
+                    );
+                    // Add v's kNN neighbors (they carry the approximate NNG,
+                    // which is essential for monotonicity — Figure 4).
+                    for nb in knn.neighbors(v as u32) {
+                        candidates.push(Neighbor::new(nb.id, nb.dist));
+                    }
+                    candidates.retain(|c| c.id as usize != v);
+                    candidates.sort_unstable_by(Neighbor::ordering);
+                    candidates.dedup_by_key(|c| c.id);
+                    mrng_select(&base, query, &candidates, m, &metric)
+                },
+            )
             .collect();
 
         // Step iii-b: reverse-edge insertion under the same pruning rule.

@@ -1,0 +1,84 @@
+//! # nsg-serve — embedded concurrent serving for ANN indices
+//!
+//! The paper's headline deployment is a **live search service** (the NSG
+//! "has been integrated into the search engine of Taobao" serving
+//! billion-scale e-commerce traffic); this crate models that setting on top
+//! of the workspace's query API: sustained concurrent query traffic against
+//! an index that is rebuilt and replaced behind the traffic.
+//!
+//! The pieces, one module each:
+//!
+//! * [`server`] — [`Server`]: a pool of long-lived worker threads behind a
+//!   **bounded** MPMC admission queue, with optional micro-batching. The
+//!   bounded queue is the backpressure boundary: a full queue rejects with
+//!   [`ServeError::Overloaded`] instead of letting latency collapse.
+//! * [`handle`] — [`IndexHandle`]: the atomically hot-swappable
+//!   `Arc<dyn AnnIndex>` snapshot (with a generation counter) workers read,
+//!   so re-indexing never shows readers a torn state.
+//! * [`slot`] — [`ResponseSlot`]: the reusable submit/wait rendezvous whose
+//!   warm buffers keep the steady-state round trip allocation-free on both
+//!   sides.
+//! * [`metrics`] — [`ServerMetrics`]: fixed-bucket latency histogram
+//!   (p50/p90/p99), QPS, rejection/deadline counters and mean distance
+//!   computations per query.
+//! * [`error`] — [`ServeError`]: every failure mode, typed.
+//!
+//! Workers pin one search context each via the same
+//! [`PinnedContext`](nsg_core::context::PinnedContext) helper
+//! `AnnIndex::search_batch` uses — the context-reuse contract's
+//! "one context per worker thread" shape, kept across index hot-swaps.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nsg_serve::{Server, ServerConfig, ResponseSlot};
+//! use nsg_core::index::{AnnIndex, SearchRequest};
+//! use nsg_core::context::SearchContext;
+//! use nsg_core::neighbor::Neighbor;
+//! use std::sync::Arc;
+//!
+//! // Any AnnIndex works; a real application serves an NsgIndex.
+//! struct Zero;
+//! impl AnnIndex for Zero {
+//!     fn new_context(&self) -> SearchContext { SearchContext::new() }
+//!     fn search_into<'a>(&self, ctx: &'a mut SearchContext, r: &SearchRequest, _q: &[f32])
+//!         -> &'a [Neighbor]
+//!     {
+//!         ctx.results.clear();
+//!         ctx.results.extend((0..r.k as u32).map(|i| Neighbor::new(i, i as f32)));
+//!         &ctx.results
+//!     }
+//!     fn memory_bytes(&self) -> usize { 0 }
+//!     fn name(&self) -> &'static str { "zero" }
+//! }
+//!
+//! let server = Server::start(Arc::new(Zero), ServerConfig::with_workers(2));
+//!
+//! // Client loop: one reusable slot, zero allocation per query once warm.
+//! let slot = Arc::new(ResponseSlot::new());
+//! let request = SearchRequest::new(3);
+//! server.try_submit(&slot, &[0.0], &request, None).unwrap();
+//! let response = slot.wait().unwrap();
+//! assert_eq!(response.neighbors().len(), 3);
+//! drop(response);
+//!
+//! // Hot-swap a rebuilt index behind the running traffic.
+//! server.handle().swap(Arc::new(Zero));
+//! assert_eq!(server.handle().generation(), 1);
+//!
+//! println!("{}", server.metrics().snapshot());
+//! server.shutdown();
+//! ```
+
+pub mod error;
+pub mod handle;
+pub mod metrics;
+pub mod server;
+pub mod slot;
+mod worker;
+
+pub use error::ServeError;
+pub use handle::{IndexHandle, Snapshot};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use server::{Server, ServerConfig};
+pub use slot::{ResponseGuard, ResponseSlot};

@@ -1,0 +1,377 @@
+//! Latency SLO instrumentation: [`ServerMetrics`].
+//!
+//! Every completed query's end-to-end latency (enqueue → response written)
+//! lands in a **fixed-bucket** log-scale histogram: 64 power-of-two octaves
+//! of nanoseconds, each split into 8 linear sub-buckets (HDR-histogram
+//! style), giving ≤ 12.5% relative error across the full range from 1 ns to
+//! centuries with a flat 512-counter array. Recording is a single atomic
+//! increment — no locks, no allocation — so the warm query path stays
+//! allocation-free with metrics on.
+//!
+//! [`ServerMetrics::snapshot`] derives the numbers an SLO dashboard wants:
+//! p50/p90/p99 latency, QPS over the metrics window, the rejected and
+//! deadline-expired counts, and the mean distance computations per query
+//! (straight from the [`SearchStats`] every index already reports).
+
+use nsg_core::search::SearchStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// 64 octaves × 8 sub-buckets (the first octaves are exact).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Maps a latency in nanoseconds to its histogram bucket: the octave of the
+/// leading bit, refined by the next [`SUB_BITS`] bits. Monotone in `nanos`.
+fn bucket_index(nanos: u64) -> usize {
+    let n = nanos.max(1);
+    let msb = 63 - n.leading_zeros();
+    if msb < SUB_BITS {
+        n as usize
+    } else {
+        let sub = ((n >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        ((msb - SUB_BITS + 1) as usize) * SUB + sub
+    }
+}
+
+/// Upper bound (inclusive, in nanoseconds) of the values a bucket covers —
+/// the value reported for a quantile that lands in the bucket.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let msb = (index / SUB) as u32 + SUB_BITS - 1;
+        let sub = (index % SUB) as u128;
+        // Start of the next sub-bucket, minus one; computed in u128 because
+        // the topmost bucket's bound is exactly 2^64 (it saturates to
+        // u64::MAX).
+        let bound = (((1u128 << SUB_BITS) + sub + 1) << (msb - SUB_BITS)) - 1;
+        u64::try_from(bound).unwrap_or(u64::MAX)
+    }
+}
+
+/// The fixed-bucket concurrent latency histogram (see the module docs).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Exact sum for the mean (the buckets alone would round it).
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (a flat array of zeroed counters).
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation. Lock-free and allocation-free.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded latencies, as the
+    /// upper bound of the bucket holding that rank (≤ 12.5% high). Zero when
+    /// nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_nanos(bucket_upper_bound(i));
+            }
+        }
+        Duration::from_nanos(bucket_upper_bound(BUCKETS - 1))
+    }
+
+    /// Exact mean of the recorded latencies (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / count)
+    }
+}
+
+/// All serving counters of one [`Server`](crate::server::Server): the latency
+/// histogram plus completion, rejection, deadline and search-cost tallies.
+/// Shared by every worker; all recording is atomic.
+pub struct ServerMetrics {
+    latency: LatencyHistogram,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    distance_computations: AtomicU64,
+    started: Instant,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics; the QPS window starts now.
+    pub fn new() -> Self {
+        Self {
+            latency: LatencyHistogram::new(),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            distance_computations: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one successfully answered query (worker side).
+    pub fn record_completed(&self, latency: Duration, stats: SearchStats) {
+        self.latency.record(latency);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.distance_computations
+            .fetch_add(stats.distance_computations, Ordering::Relaxed);
+    }
+
+    /// Records one admission rejection (queue full at submit time).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request dropped because its deadline passed in the queue.
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request that failed because its search panicked on the
+    /// worker (the request resolved to `WorkerPanicked`).
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of admission rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Number of successfully answered queries so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// The read side of the direct latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Derives the SLO report from the current counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        MetricsSnapshot {
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            elapsed,
+            qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50: self.latency.quantile(0.50),
+            p90: self.latency.quantile(0.90),
+            p99: self.latency.quantile(0.99),
+            mean_latency: self.latency.mean(),
+            mean_distance_computations: if completed == 0 {
+                0.0
+            } else {
+                self.distance_computations.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time SLO report derived by [`ServerMetrics::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries answered successfully.
+    pub completed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Requests dropped because their deadline passed before execution.
+    pub expired: u64,
+    /// Requests whose search panicked on the worker (resolved to
+    /// `WorkerPanicked`, worker kept serving).
+    pub failed: u64,
+    /// Length of the metrics window (server start to this snapshot).
+    pub elapsed: Duration,
+    /// Completed queries per second over the window.
+    pub qps: f64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 90th-percentile end-to-end latency.
+    pub p90: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+    /// Mean end-to-end latency (exact, not bucketed).
+    pub mean_latency: Duration,
+    /// Mean distance computations per completed query.
+    pub mean_distance_computations: f64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of submissions that were rejected (0 when none arrived).
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.completed + self.rejected + self.expired + self.failed;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / offered as f64
+        }
+    }
+}
+
+/// Microseconds with one decimal — latency numbers at serving scale.
+fn fmt_us(d: Duration) -> String {
+    format!("{:.1}µs", d.as_nanos() as f64 / 1000.0)
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} qps | p50 {} p90 {} p99 {} mean {} | {} ok, {} rejected, {} expired, {} failed | {:.0} dist/query",
+            self.qps,
+            fmt_us(self.p50),
+            fmt_us(self.p90),
+            fmt_us(self.p99),
+            fmt_us(self.mean_latency),
+            self.completed,
+            self.rejected,
+            self.expired,
+            self.failed,
+            self.mean_distance_computations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0u32..63 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << shift).saturating_add(off << shift.saturating_sub(4)));
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index must not decrease ({v})");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), bucket_index(1));
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn extreme_latencies_do_not_overflow_the_bucket_bounds() {
+        // The topmost bucket's upper bound is 2^64: the math must saturate,
+        // not wrap (or panic in debug builds).
+        assert_eq!(bucket_upper_bound(bucket_index(u64::MAX)), u64::MAX);
+        let h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        h.record(Duration::from_nanos(u64::MAX));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_values_with_bounded_error() {
+        for &v in &[1u64, 7, 8, 100, 999, 1_000, 123_456, 1_000_000, 10_u64.pow(9), u64::MAX / 2] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            // ≤ 12.5% relative error plus rounding slack in the tiny buckets.
+            assert!(ub as f64 <= v as f64 * 1.125 + 1.0, "bucket too wide for {v}: {ub}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 100 observations: 1µs ×90, 1ms ×9, 100ms ×1.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(1));
+        }
+        h.record(Duration::from_millis(100));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!(p50 >= Duration::from_micros(1) && p50 < Duration::from_micros(2));
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_millis(1) && p99 < Duration::from_micros(1200));
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= Duration::from_millis(100));
+        assert!(h.mean() > Duration::from_micros(1000));
+        assert_eq!(LatencyHistogram::new().quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_derives_rates_and_means() {
+        let m = ServerMetrics::new();
+        m.record_completed(
+            Duration::from_micros(100),
+            SearchStats { distance_computations: 200, hops: 10, visited: 200 },
+        );
+        m.record_completed(
+            Duration::from_micros(300),
+            SearchStats { distance_computations: 400, hops: 20, visited: 400 },
+        );
+        m.record_rejected();
+        m.record_expired();
+        let snap = m.snapshot();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.expired, 1);
+        assert!((snap.mean_distance_computations - 300.0).abs() < 1e-9);
+        assert!((snap.rejection_rate() - 0.25).abs() < 1e-9);
+        assert!(snap.qps > 0.0);
+        assert!(snap.p99 >= snap.p50);
+        assert!(!snap.to_string().is_empty());
+        // Empty metrics degrade to zeros, not NaNs or panics.
+        let empty = ServerMetrics::new().snapshot();
+        assert_eq!(empty.mean_distance_computations, 0.0);
+        assert_eq!(empty.rejection_rate(), 0.0);
+        assert_eq!(empty.p50, Duration::ZERO);
+    }
+}

@@ -1,0 +1,321 @@
+//! Reusable response rendezvous: [`ResponseSlot`].
+//!
+//! A served query needs a place for the answer to land and a way for the
+//! submitter to block until it does. A one-shot channel per request would
+//! allocate on every query; a `ResponseSlot` is instead a **reusable**
+//! rendezvous the client creates once and submits through repeatedly — its
+//! query and result buffers stay warm, so the steady-state round trip
+//! (submit → worker search → wait) performs zero heap allocation on both
+//! sides (enforced by the `alloc_guard` integration test).
+//!
+//! One slot tracks one outstanding request at a time. Closed-loop clients
+//! reuse a single slot; open-loop (fire-and-forget) clients rotate through a
+//! pool of slots and let completed outcomes be overwritten by the next
+//! submission.
+
+use crate::error::ServeError;
+use nsg_core::neighbor::Neighbor;
+use nsg_core::search::SearchStats;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No request in flight (a not-yet-consumed outcome may still be stored).
+    Idle,
+    /// Submitted and not yet completed by a worker.
+    Pending,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    phase: Phase,
+    /// `Some` once a worker (or a failed submit) resolved the request;
+    /// consumed by `wait`, or silently discarded by the next `begin` —
+    /// fire-and-forget clients never wait.
+    outcome: Option<Result<(), ServeError>>,
+    /// The query vector, written by the submitter, read by the worker.
+    query: Vec<f32>,
+    /// The answer, copied out of the worker's search context.
+    results: Vec<Neighbor>,
+    stats: SearchStats,
+    generation: u64,
+    latency: Duration,
+}
+
+/// A reusable single-request response rendezvous (see the module docs).
+///
+/// Wrap it in an `Arc` and hand the same slot to
+/// [`Server::try_submit`](crate::server::Server::try_submit) for every query
+/// of a client loop.
+#[derive(Debug)]
+pub struct ResponseSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseSlot {
+    /// Creates an idle slot; buffers grow on first use and stay warm.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState {
+                phase: Phase::Idle,
+                outcome: None,
+                query: Vec::new(),
+                results: Vec::new(),
+                stats: SearchStats::default(),
+                generation: 0,
+                latency: Duration::ZERO,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether a submitted request has not completed yet.
+    pub fn is_pending(&self) -> bool {
+        self.lock().phase == Phase::Pending
+    }
+
+    /// Claims the slot for a new request and stores its query. Fails with
+    /// [`ServeError::SlotBusy`] while a previous request is still in flight;
+    /// an unconsumed previous outcome is discarded.
+    pub(crate) fn begin(&self, query: &[f32]) -> Result<(), ServeError> {
+        let mut state = self.lock();
+        if state.phase == Phase::Pending {
+            return Err(ServeError::SlotBusy);
+        }
+        state.phase = Phase::Pending;
+        state.outcome = None;
+        state.query.clear();
+        state.query.extend_from_slice(query);
+        Ok(())
+    }
+
+    /// Releases a claim made by [`begin`] whose submission failed (queue
+    /// full / shutting down): the slot returns to idle without an outcome.
+    pub(crate) fn cancel(&self) {
+        let mut state = self.lock();
+        state.phase = Phase::Idle;
+        state.outcome = None;
+    }
+
+    /// Copies the in-flight request's query into `buf` (worker side).
+    pub(crate) fn read_query_into(&self, buf: &mut Vec<f32>) {
+        let state = self.lock();
+        buf.clear();
+        buf.extend_from_slice(&state.query);
+    }
+
+    /// Resolves the in-flight request with an answer (worker side): copies
+    /// `results` into the slot and wakes the waiter.
+    pub(crate) fn complete_ok(
+        &self,
+        results: &[Neighbor],
+        stats: SearchStats,
+        generation: u64,
+        latency: Duration,
+    ) {
+        let mut state = self.lock();
+        state.results.clear();
+        state.results.extend_from_slice(results);
+        state.stats = stats;
+        state.generation = generation;
+        state.latency = latency;
+        state.outcome = Some(Ok(()));
+        state.phase = Phase::Idle;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Resolves the in-flight request with a failure (worker side).
+    pub(crate) fn complete_err(&self, err: ServeError, latency: Duration) {
+        let mut state = self.lock();
+        state.latency = latency;
+        state.outcome = Some(Err(err));
+        state.phase = Phase::Idle;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the submitted request resolves, then returns a guard over
+    /// the response (or the request's failure). Fails immediately with
+    /// [`ServeError::NotSubmitted`] when nothing was submitted.
+    ///
+    /// The returned [`ResponseGuard`] holds the slot's lock: drop it before
+    /// calling anything else on this slot (see the guard's docs).
+    pub fn wait(&self) -> Result<ResponseGuard<'_>, ServeError> {
+        self.wait_impl(None)
+    }
+
+    /// [`wait`](Self::wait) with an upper bound: fails with
+    /// [`ServeError::WaitTimeout`] if the response has not arrived within
+    /// `timeout` (the request stays in flight and may still resolve).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<ResponseGuard<'_>, ServeError> {
+        self.wait_impl(Some(Instant::now() + timeout))
+    }
+
+    fn wait_impl(&self, deadline: Option<Instant>) -> Result<ResponseGuard<'_>, ServeError> {
+        let mut state = self.lock();
+        loop {
+            if let Some(outcome) = state.outcome.take() {
+                return match outcome {
+                    Ok(()) => Ok(ResponseGuard { state }),
+                    Err(e) => Err(e),
+                };
+            }
+            if state.phase != Phase::Pending {
+                return Err(ServeError::NotSubmitted);
+            }
+            state = match deadline {
+                None => self.ready.wait(state).unwrap_or_else(|e| e.into_inner()),
+                Some(dl) => {
+                    let Some(remaining) =
+                        dl.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+                    else {
+                        return Err(ServeError::WaitTimeout);
+                    };
+                    self.ready
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+}
+
+/// A borrowed view of a completed response, **held under the slot's lock**
+/// (that is what makes reading it copy- and allocation-free).
+///
+/// Read what you need and drop the guard promptly. While the guard lives,
+/// any other call on the same slot from the same thread — `try_submit`,
+/// [`wait`](ResponseSlot::wait), [`is_pending`](ResponseSlot::is_pending) —
+/// re-locks the non-reentrant mutex the guard is holding and **deadlocks**.
+/// Resubmit only after dropping the guard (copy out anything you still
+/// need first).
+pub struct ResponseGuard<'a> {
+    state: MutexGuard<'a, SlotState>,
+}
+
+impl ResponseGuard<'_> {
+    /// The scored neighbors, ascending by distance.
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.state.results
+    }
+
+    /// Instrumentation of the search that produced this answer.
+    pub fn stats(&self) -> SearchStats {
+        self.state.stats
+    }
+
+    /// Generation of the index snapshot that served the query (see
+    /// [`IndexHandle`](crate::handle::IndexHandle)).
+    pub fn generation(&self) -> u64 {
+        self.state.generation
+    }
+
+    /// End-to-end latency: submission (enqueue) to completion.
+    pub fn latency(&self) -> Duration {
+        self.state.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_without_submit_is_an_error() {
+        let slot = ResponseSlot::new();
+        assert_eq!(slot.wait().err(), Some(ServeError::NotSubmitted));
+    }
+
+    #[test]
+    fn begin_complete_wait_round_trip() {
+        let slot = ResponseSlot::new();
+        slot.begin(&[1.0, 2.0]).unwrap();
+        assert!(slot.is_pending());
+        let mut q = Vec::new();
+        slot.read_query_into(&mut q);
+        assert_eq!(q, vec![1.0, 2.0]);
+        let answer = [Neighbor::new(3, 0.5), Neighbor::new(9, 1.5)];
+        slot.complete_ok(&answer, SearchStats::default(), 7, Duration::from_micros(12));
+        let guard = slot.wait().unwrap();
+        assert_eq!(guard.neighbors(), &answer);
+        assert_eq!(guard.generation(), 7);
+        assert_eq!(guard.latency(), Duration::from_micros(12));
+        drop(guard);
+        // The outcome was consumed; a second wait has nothing to wait for.
+        assert_eq!(slot.wait().err(), Some(ServeError::NotSubmitted));
+    }
+
+    #[test]
+    fn double_begin_is_slot_busy_and_cancel_releases() {
+        let slot = ResponseSlot::new();
+        slot.begin(&[0.0]).unwrap();
+        assert_eq!(slot.begin(&[1.0]).err(), Some(ServeError::SlotBusy));
+        slot.cancel();
+        slot.begin(&[1.0]).unwrap();
+        slot.complete_err(ServeError::DeadlineExceeded, Duration::ZERO);
+        assert_eq!(slot.wait().err(), Some(ServeError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn begin_discards_an_unconsumed_outcome() {
+        // Fire-and-forget reuse: nobody waited for the previous answer.
+        let slot = ResponseSlot::new();
+        slot.begin(&[0.0]).unwrap();
+        slot.complete_ok(&[Neighbor::new(1, 1.0)], SearchStats::default(), 1, Duration::ZERO);
+        slot.begin(&[1.0]).unwrap();
+        slot.complete_ok(&[Neighbor::new(2, 2.0)], SearchStats::default(), 2, Duration::ZERO);
+        let guard = slot.wait().unwrap();
+        assert_eq!(guard.neighbors()[0].id, 2);
+        assert_eq!(guard.generation(), 2);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion_across_threads() {
+        let slot = Arc::new(ResponseSlot::new());
+        slot.begin(&[5.0]).unwrap();
+        let worker = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(15));
+                slot.complete_ok(
+                    &[Neighbor::new(4, 0.25)],
+                    SearchStats::default(),
+                    1,
+                    Duration::from_millis(15),
+                );
+            })
+        };
+        let guard = slot.wait().unwrap();
+        assert_eq!(guard.neighbors()[0].id, 4);
+        drop(guard);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_expires_but_request_stays_pending() {
+        let slot = ResponseSlot::new();
+        slot.begin(&[0.0]).unwrap();
+        assert_eq!(
+            slot.wait_timeout(Duration::from_millis(5)).err(),
+            Some(ServeError::WaitTimeout)
+        );
+        assert!(slot.is_pending());
+        slot.complete_ok(&[Neighbor::new(8, 1.0)], SearchStats::default(), 1, Duration::ZERO);
+        assert_eq!(slot.wait_timeout(Duration::from_millis(5)).unwrap().neighbors()[0].id, 8);
+    }
+}

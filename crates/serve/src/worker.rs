@@ -1,0 +1,93 @@
+//! The serving worker loop: pinned context, micro-batching, deadlines.
+//!
+//! Each worker is a long-lived `std::thread` owning exactly one
+//! [`PinnedContext`] — the same "one context per worker" helper
+//! `AnnIndex::search_batch` uses — plus a private query buffer and a drained
+//! job batch, all reused forever. After warm-up the loop performs **zero
+//! heap allocation per request**: receive (pop from the preallocated
+//! bounded queue), load the snapshot (`Arc` clone), copy the query into the
+//! warm buffer, `search_into` on the warm context, copy the answer into the
+//! slot's warm buffer, bump atomic counters.
+//!
+//! **Micro-batching:** after blocking for the first job, the worker drains up
+//! to `max_batch - 1` more with non-blocking `try_recv` and serves the whole
+//! batch on a single snapshot load. Batching is purely opportunistic — an
+//! idle server serves every query alone at minimum latency; under load the
+//! snapshot load (and its cache effects) amortize across the queue that has
+//! built up anyway.
+
+use crate::handle::IndexHandle;
+use crate::metrics::ServerMetrics;
+use crate::server::Job;
+use crate::ServeError;
+use crossbeam_channel::Receiver;
+use nsg_core::context::PinnedContext;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs one worker until every sender is gone **and** the queue is drained
+/// (accepted work is never dropped by shutdown).
+pub(crate) fn worker_loop(
+    rx: Receiver<Job>,
+    handle: Arc<IndexHandle>,
+    metrics: Arc<ServerMetrics>,
+    max_batch: usize,
+) {
+    let mut pinned = PinnedContext::new();
+    let mut query = Vec::new();
+    let mut batch = Vec::with_capacity(max_batch);
+    while let Ok(job) = rx.recv() {
+        batch.push(job);
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        // One consistent snapshot for the whole batch; a concurrent swap is
+        // observed at the next batch boundary.
+        let snapshot = handle.load();
+        for job in batch.drain(..) {
+            // Panic containment: a panicking search (a broken index swapped
+            // in, a poisoned query) must not leave the client waiting
+            // forever or kill the worker — the request resolves to
+            // `WorkerPanicked` and the loop keeps serving. The slot cannot
+            // carry a *newer* request here: our request is still pending, so
+            // a concurrent `begin` would have been refused with `SlotBusy`.
+            let slot = Arc::clone(&job.slot);
+            let enqueued = job.enqueued;
+            let served = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                serve_one(&snapshot, &mut pinned, &mut query, &metrics, job)
+            }));
+            if served.is_err() {
+                metrics.record_failed();
+                slot.complete_err(ServeError::WorkerPanicked, enqueued.elapsed());
+            }
+        }
+    }
+}
+
+fn serve_one(
+    snapshot: &crate::handle::Snapshot,
+    pinned: &mut PinnedContext,
+    query: &mut Vec<f32>,
+    metrics: &ServerMetrics,
+    job: Job,
+) {
+    let now = Instant::now();
+    if let Some(deadline) = job.deadline {
+        if now > deadline {
+            metrics.record_expired();
+            job.slot
+                .complete_err(ServeError::DeadlineExceeded, now - job.enqueued);
+            return;
+        }
+    }
+    job.slot.read_query_into(query);
+    let _ = pinned.search(snapshot.index.as_ref(), &job.request, query);
+    let latency = job.enqueued.elapsed();
+    metrics.record_completed(latency, pinned.stats());
+    job.slot
+        .complete_ok(pinned.results(), pinned.stats(), snapshot.generation, latency);
+}

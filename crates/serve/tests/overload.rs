@@ -1,0 +1,146 @@
+//! Backpressure under a slow consumer.
+//!
+//! A single deliberately slow worker behind a tiny bounded queue is flooded
+//! with non-blocking submissions. The contract under test: every submission
+//! either lands in the queue or is rejected **immediately** with
+//! `Overloaded` (no blocking, no deadlock), the metrics' rejected counter
+//! matches the rejections the client observed, and every accepted request is
+//! eventually answered.
+
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::neighbor::Neighbor;
+use nsg_serve::{ResponseSlot, ServeError, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An index whose every search takes ~`DELAY` — a stand-in for an expensive
+/// query against a large graph.
+struct SlowIndex;
+const DELAY: Duration = Duration::from_millis(4);
+
+impl AnnIndex for SlowIndex {
+    fn new_context(&self) -> SearchContext {
+        SearchContext::new()
+    }
+    fn search_into<'a>(
+        &self,
+        ctx: &'a mut SearchContext,
+        request: &SearchRequest,
+        _query: &[f32],
+    ) -> &'a [Neighbor] {
+        std::thread::sleep(DELAY);
+        ctx.results.clear();
+        ctx.results
+            .extend((0..request.k as u32).map(|i| Neighbor::new(i, i as f32)));
+        &ctx.results
+    }
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+#[test]
+fn full_queue_rejects_immediately_and_counts_match() {
+    const SUBMISSIONS: usize = 40;
+    const QUEUE: usize = 2;
+    let server = Server::start(
+        Arc::new(SlowIndex),
+        ServerConfig { workers: 1, queue_capacity: QUEUE, max_batch: 1 },
+    );
+    let request = SearchRequest::new(3);
+    let slots: Vec<Arc<ResponseSlot>> =
+        (0..SUBMISSIONS).map(|_| Arc::new(ResponseSlot::new())).collect();
+
+    let started = Instant::now();
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for slot in &slots {
+        match server.try_submit(slot, &[0.0], &request, None) {
+            Ok(()) => accepted.push(Arc::clone(slot)),
+            Err(ServeError::Overloaded) => rejected += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    let submit_elapsed = started.elapsed();
+
+    // The flood outpaces a 4ms-per-query consumer by construction: with a
+    // queue of 2 most submissions must be shed, and shedding must not block
+    // behind the slow worker (40 submissions vs 40 * 4ms of service time).
+    assert!(rejected > 0, "a full bounded queue must reject");
+    assert!(
+        accepted.len() >= QUEUE,
+        "at least the queue capacity must have been admitted"
+    );
+    assert!(
+        submit_elapsed < DELAY * (SUBMISSIONS as u32) / 2,
+        "try_submit must not block behind the slow consumer (took {submit_elapsed:?})"
+    );
+
+    // No deadlock: every accepted request completes; rejected slots hold no
+    // pending request and report NotSubmitted.
+    for slot in &accepted {
+        let response = slot
+            .wait_timeout(Duration::from_secs(30))
+            .expect("accepted request must complete");
+        assert_eq!(response.neighbors().len(), 3);
+    }
+    for slot in &slots {
+        if !accepted.iter().any(|a| Arc::ptr_eq(a, slot)) {
+            assert_eq!(slot.wait().err(), Some(ServeError::NotSubmitted));
+        }
+    }
+
+    let snapshot = server.metrics().snapshot();
+    assert_eq!(
+        snapshot.rejected, rejected,
+        "metrics must count exactly the rejections the client observed"
+    );
+    assert_eq!(snapshot.completed, accepted.len() as u64);
+    assert_eq!(snapshot.expired, 0);
+    assert!(snapshot.rejection_rate() > 0.0);
+
+    // The server recovers once the backlog drains: a fresh submit succeeds.
+    let slot = Arc::new(ResponseSlot::new());
+    server.try_submit(&slot, &[0.0], &request, None).unwrap();
+    assert_eq!(slot.wait_timeout(Duration::from_secs(30)).unwrap().neighbors().len(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_shed_queued_work_under_overload() {
+    // Same slow consumer, but every request carries a deadline shorter than
+    // the queueing delay it will suffer: the worker must drop expired
+    // requests without serving them, and count them as expired.
+    let server = Server::start(
+        Arc::new(SlowIndex),
+        ServerConfig { workers: 1, queue_capacity: 16, max_batch: 1 },
+    );
+    let request = SearchRequest::new(1);
+    let slots: Vec<Arc<ResponseSlot>> = (0..12).map(|_| Arc::new(ResponseSlot::new())).collect();
+    let mut accepted = 0u64;
+    for slot in &slots {
+        // 1ms budget; each queued request waits ≥ 4ms per predecessor.
+        if server.try_submit(slot, &[0.0], &request, Some(Duration::from_millis(1))).is_ok() {
+            accepted += 1;
+        }
+    }
+    let mut completed = 0u64;
+    let mut expired = 0u64;
+    for slot in &slots {
+        match slot.wait_timeout(Duration::from_secs(30)) {
+            Ok(_) => completed += 1,
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(ServeError::NotSubmitted) => {} // was rejected at admission
+            Err(other) => panic!("unexpected outcome: {other}"),
+        }
+    }
+    assert_eq!(completed + expired, accepted);
+    assert!(expired > 0, "queued requests past their deadline must be shed");
+    let snapshot = server.metrics().snapshot();
+    assert_eq!(snapshot.expired, expired);
+    assert_eq!(snapshot.completed, completed);
+}

@@ -69,9 +69,25 @@ where
     T: Send,
     F: Fn(S) -> Option<T> + Sync,
 {
+    run_init(items, &|| (), &|_: &mut (), s| op(s))
+}
+
+/// The worker-pinned-state generalization of [`run`]: every worker calls
+/// `init` **once**, then threads the resulting state mutably through `op` for
+/// each item of its chunk — real rayon's `map_init` contract. State never
+/// crosses threads (it is created and dropped on the worker), so it need not
+/// be `Send`; output order is preserved exactly as in [`run`].
+fn run_init<S, St, T, INIT, F>(items: Vec<S>, init: &INIT, op: &F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    INIT: Fn() -> St + Sync,
+    F: Fn(&mut St, S) -> Option<T> + Sync,
+{
     let threads = current_num_threads();
     if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().filter_map(op).collect();
+        let mut state = init();
+        return items.into_iter().filter_map(|s| op(&mut state, s)).collect();
     }
     let chunk_size = items.len().div_ceil(threads);
     let mut out = Vec::with_capacity(items.len());
@@ -83,7 +99,13 @@ where
             if chunk.is_empty() {
                 break;
             }
-            handles.push(s.spawn(move || chunk.into_iter().filter_map(op).collect::<Vec<T>>()));
+            handles.push(s.spawn(move || {
+                let mut state = init();
+                chunk
+                    .into_iter()
+                    .filter_map(|item| op(&mut state, item))
+                    .collect::<Vec<T>>()
+            }));
         }
         for h in handles {
             match h.join() {
@@ -168,6 +190,32 @@ where
         }
     }
 
+    /// Maps every item through `g` with **worker-pinned state**: each worker
+    /// thread calls `init` once and reuses the resulting state for every item
+    /// it processes — real rayon's `map_init`. This is how expensive per-item
+    /// scratch (a `SearchContext`, an RNG) is amortized to one instance per
+    /// worker instead of one per item. Output order is preserved; the state
+    /// stays on its worker, so results cannot depend on it unless `g` makes
+    /// them (reset per item for determinism, as rayon's docs also warn).
+    pub fn map_init<St, U, INIT, G>(
+        self,
+        init: INIT,
+        g: G,
+    ) -> ParInitIter<S, St, U, INIT, impl Fn(&mut St, S) -> Option<U> + Sync>
+    where
+        U: Send,
+        INIT: Fn() -> St + Sync,
+        G: Fn(&mut St, T) -> U + Sync,
+    {
+        let op = self.op;
+        ParInitIter {
+            items: self.items,
+            init,
+            op: move |state: &mut St, s| op(s).map(|t| g(state, t)),
+            _stage: PhantomData,
+        }
+    }
+
     /// Runs `g` for every item on the worker pool. Side effects on shared
     /// state race across workers exactly as with real rayon; pin
     /// `NSG_SHIM_THREADS=1` for deterministic runs.
@@ -200,6 +248,45 @@ where
     /// Executes the pipeline and counts the surviving items.
     pub fn count(self) -> usize {
         run(self.items, &self.op).len()
+    }
+}
+
+/// A pipeline whose final stage carries worker-pinned state (the result of
+/// [`ParIter::map_init`]). Only terminal operations remain: the state is
+/// mutable per worker, so further composition happens inside the `map_init`
+/// closure itself.
+pub struct ParInitIter<S, St, T, INIT, F>
+where
+    INIT: Fn() -> St,
+    F: Fn(&mut St, S) -> Option<T>,
+{
+    items: Vec<S>,
+    init: INIT,
+    op: F,
+    _stage: PhantomData<fn(St, S) -> T>,
+}
+
+impl<S, St, T, INIT, F> ParInitIter<S, St, T, INIT, F>
+where
+    S: Send,
+    T: Send,
+    INIT: Fn() -> St + Sync,
+    F: Fn(&mut St, S) -> Option<T> + Sync,
+{
+    /// Executes the pipeline and collects the results in source order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        run_init(self.items, &self.init, &self.op).into_iter().collect()
+    }
+
+    /// Executes the pipeline for its effects, discarding the mapped values
+    /// (rayon expresses this as `for_each_init`; the shim reuses the
+    /// `map_init` plumbing).
+    pub fn for_each(self) {
+        let op = self.op;
+        let _ = run_init(self.items, &self.init, &move |state: &mut St, s| -> Option<()> {
+            let _ = op(state, s);
+            None
+        });
     }
 }
 
@@ -340,6 +427,65 @@ mod tests {
         assert_eq!(chunk_sums[10], (3, 100 + 101 + 102));
         let total: u32 = chunk_sums.iter().map(|&(_, s)| s).sum();
         assert_eq!(total, (0..103).sum());
+    }
+
+    #[test]
+    fn map_init_preserves_order_and_pins_state_per_worker() {
+        // Count how many times init runs: at most once per worker, and far
+        // fewer times than there are items.
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..5000usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new() // per-worker scratch, reused across items
+                },
+                |scratch, x| {
+                    scratch.clear();
+                    scratch.extend([x, x]);
+                    scratch.iter().sum::<usize>()
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 5000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2 * i);
+        }
+        let n_inits = inits.load(Ordering::Relaxed);
+        assert!(n_inits >= 1 && n_inits <= crate::current_num_threads());
+    }
+
+    #[test]
+    fn map_init_for_each_visits_every_item() {
+        let hits = AtomicUsize::new(0);
+        (0..1000usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |state, _x| {
+                    *state += 1;
+                    hits.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .for_each();
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn map_init_composes_after_map_and_filter() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter(|&x| x % 2 == 0)
+            .map(|x| x + 1)
+            .map_init(|| 0usize, |acc, x| {
+                *acc += 1; // per-worker running count, must not affect order
+                x * 10
+            })
+            .collect();
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[0], 10);
+        assert_eq!(out[49], 990);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   serialization, sharded search,
 //! * [`baselines`] — the compared methods (KD-trees, LSH, IVF-PQ, KGraph,
 //!   Efanna, NSW, HNSW, FANNG, DPG, NSG-Naive, serial scan),
-//! * [`eval`] — QPS/precision sweeps, scaling fits, report emission.
+//! * [`eval`] — QPS/precision sweeps, scaling fits, report emission,
+//! * [`serve`] — embedded concurrent query service: worker pool behind a
+//!   bounded queue, snapshot hot-swap ([`IndexHandle`](nsg_serve::IndexHandle)),
+//!   latency SLO metrics.
 //!
 //! ## Quickstart
 //!
@@ -54,11 +57,19 @@
 //! // Batch path: one context per worker thread, results in query order.
 //! let batch = index.search_batch(&queries, &request);
 //! assert_eq!(batch.len(), queries.len());
+//!
+//! // Serving: a worker pool behind a bounded queue, hot-swappable index.
+//! let server = Server::start(Arc::new(index), ServerConfig::with_workers(2));
+//! let served = server.search_blocking(queries.get(0), &request).unwrap();
+//! assert_eq!(served, neighbors);
+//! println!("{}", server.metrics().snapshot());
+//! server.shutdown();
 //! ```
 pub use nsg_baselines as baselines;
 pub use nsg_core as core;
 pub use nsg_eval as eval;
 pub use nsg_knn as knn;
+pub use nsg_serve as serve;
 pub use nsg_vectors as vectors;
 
 /// The most commonly used items, re-exported for `use nsg::prelude::*`.
@@ -67,13 +78,17 @@ pub mod prelude {
         DpgIndex, EfannaIndex, FanngIndex, HnswIndex, IvfPq, KGraphIndex, KdForest, LshIndex,
         NsgNaiveIndex, NswIndex, SerialScan,
     };
-    pub use nsg_core::context::SearchContext;
+    pub use nsg_core::context::{PinnedContext, SearchContext};
     pub use nsg_core::index::{AnnIndex, SearchQuality, SearchRequest};
     pub use nsg_core::neighbor::{self, Neighbor};
     pub use nsg_core::nsg::{NsgIndex, NsgParams};
     pub use nsg_core::search::{search_on_graph, search_on_graph_into, SearchParams, SearchStats};
     pub use nsg_core::sharded::ShardedNsg;
     pub use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
+    pub use nsg_serve::{
+        IndexHandle, MetricsSnapshot, ResponseSlot, ServeError, Server, ServerConfig,
+        ServerMetrics,
+    };
     pub use nsg_vectors::distance::{Distance, Euclidean, InnerProduct, SquaredEuclidean};
     pub use nsg_vectors::ground_truth::exact_knn;
     pub use nsg_vectors::metrics::mean_precision;

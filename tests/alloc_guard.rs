@@ -11,30 +11,50 @@
 use nsg::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 thread_local! {
     static TRACKING: Cell<bool> = const { Cell::new(false) };
     static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Process-wide tracking for the served-query guard: the allocations to
+/// catch happen on the server's worker threads, which thread-local counting
+/// cannot see. While the flag is up, *every* thread's allocations count —
+/// which is why all tests in this binary serialize on [`GATE`].
+static GLOBAL_TRACKING: AtomicBool = AtomicBool::new(false);
+static GLOBAL_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes the tests of this binary: global tracking would otherwise
+/// count a concurrently running test's allocations.
+static GATE: Mutex<()> = Mutex::new(());
+
 /// Passes everything through to the system allocator, counting allocations
-/// made while the current thread has tracking enabled.
+/// made while the current thread (or the whole process) has tracking
+/// enabled.
 struct CountingAllocator;
 
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+impl CountingAllocator {
+    fn count(&self) {
         if TRACKING.with(|t| t.get()) {
             ALLOCATIONS.with(|c| c.set(c.get() + 1));
         }
+        if GLOBAL_TRACKING.load(Ordering::Relaxed) {
+            GLOBAL_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.count();
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow in place still reserves fresh capacity: count it.
-        if TRACKING.with(|t| t.get()) {
-            ALLOCATIONS.with(|c| c.set(c.get() + 1));
-        }
+        self.count();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -56,8 +76,20 @@ fn count_allocations(f: impl FnOnce()) -> u64 {
     ALLOCATIONS.with(|c| c.get())
 }
 
+/// Runs `f` counting heap allocations on **every** thread of the process —
+/// the form the served-query guard needs, since the search runs on a server
+/// worker rather than the test thread.
+fn count_allocations_global(f: impl FnOnce()) -> u64 {
+    GLOBAL_ALLOCATIONS.store(0, Ordering::Relaxed);
+    GLOBAL_TRACKING.store(true, Ordering::Relaxed);
+    f();
+    GLOBAL_TRACKING.store(false, Ordering::Relaxed);
+    GLOBAL_ALLOCATIONS.load(Ordering::Relaxed)
+}
+
 #[test]
 fn nsg_search_into_is_allocation_free_after_warmup() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 40, 7);
     let base = Arc::new(base);
     let index = NsgIndex::build(
@@ -108,6 +140,7 @@ fn raw_search_on_graph_into_is_allocation_free_after_warmup() {
     // Same guard one level down, on the shared Algorithm 1 routine every
     // graph index funnels through (the configuration the
     // `search_on_graph` bench measures).
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let (base, queries) = base_and_queries(SyntheticKind::DeepLike, 1000, 20, 11);
     let base = Arc::new(base);
     let index = NsgIndex::build(
@@ -149,4 +182,72 @@ fn raw_search_on_graph_into_is_allocation_free_after_warmup() {
         }
     });
     assert_eq!(allocations, 0, "search_on_graph_into allocated {allocations} times after warm-up");
+}
+
+#[test]
+fn served_query_round_trip_is_allocation_free_after_warmup() {
+    // The serving-path form of the guard: the whole round trip — submit into
+    // the bounded queue, worker dequeue, snapshot load, search on the
+    // worker-pinned context, response copy into the slot, wait — must not
+    // allocate once everything is warm. The search runs on a server worker
+    // thread, so this uses process-global counting (hence the gate).
+    use nsg::serve::{ResponseSlot, Server, ServerConfig};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1200, 40, 13);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 40,
+            max_degree: 20,
+            knn: NnDescentParams { k: 30, ..Default::default() },
+            reverse_insert: true,
+            seed: 3,
+        },
+    );
+    let server = Server::start(
+        Arc::new(index),
+        ServerConfig { workers: 2, queue_capacity: 64, max_batch: 4 },
+    );
+    let request = SearchRequest::new(10).with_effort(100).with_stats();
+    let slot = Arc::new(ResponseSlot::new());
+
+    // Warm-up: both workers' pinned contexts, the slot's query/result
+    // buffers, and the queue's condvars all materialize here.
+    for q in 0..24 {
+        server.try_submit(&slot, queries.get(q % queries.len()), &request, None).unwrap();
+        let response = slot.wait().unwrap();
+        assert_eq!(response.neighbors().len(), 10);
+    }
+
+    // Warm path: not a single allocation anywhere in the process across a
+    // full batch of served round trips.
+    let allocations = count_allocations_global(|| {
+        for q in 0..queries.len() {
+            server.try_submit(&slot, queries.get(q), &request, None).unwrap();
+            let response = slot.wait().unwrap();
+            assert_eq!(response.neighbors().len(), 10);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "served round trip allocated {allocations} times across {} queries after warm-up",
+        queries.len()
+    );
+
+    // Sanity half: global tracking must observe a cold server's allocations
+    // (thread spawn, queue construction, context creation), or the zero
+    // above is vacuous.
+    let cold = count_allocations_global(|| {
+        let cold_server = Server::start(
+            Arc::new(SerialScan::new((*base).clone(), SquaredEuclidean)),
+            ServerConfig { workers: 1, queue_capacity: 4, max_batch: 1 },
+        );
+        let _ = cold_server.search_blocking(queries.get(0), &SearchRequest::new(5)).unwrap();
+        cold_server.shutdown();
+    });
+    assert!(cold > 0, "global tracking failed to observe cold-server allocations");
+    server.shutdown();
 }
