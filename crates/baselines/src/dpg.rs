@@ -9,7 +9,7 @@
 //! the reverse-compensation step produces on skewed data.
 
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::CompactGraph;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use nsg_core::search::search_from_context_entries;
@@ -61,9 +61,9 @@ fn cos_angle(base: &VectorSet, p: usize, a: usize, b: usize) -> f32 {
 }
 
 /// Applies DPG's angle-diversification + undirected compensation to a kNN
-/// graph, returning the final directed graph (both directions of every kept
-/// edge).
-pub fn diversify(base: &VectorSet, knn: &KnnGraph) -> DirectedGraph {
+/// graph, returning the final graph (both directions of every kept edge),
+/// frozen into the contiguous query-time layout.
+pub fn diversify(base: &VectorSet, knn: &KnnGraph) -> CompactGraph {
     let n = knn.len();
     let keep = (knn.k() / 2).max(1);
     let mut adjacency: Vec<Vec<u32>> = (0..n as u32)
@@ -108,14 +108,14 @@ pub fn diversify(base: &VectorSet, knn: &KnnGraph) -> DirectedGraph {
             }
         }
     }
-    DirectedGraph::from_adjacency(adjacency)
+    CompactGraph::from_adjacency(adjacency)
 }
 
 /// The DPG index.
 pub struct DpgIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    graph: CompactGraph,
     params: DpgParams,
 }
 
@@ -133,8 +133,8 @@ impl<D: Distance + Sync> DpgIndex<D> {
         Self { base, metric, graph, params }
     }
 
-    /// The diversified graph (for Table 2 / Table 4 statistics).
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The diversified frozen graph (for Table 2 / Table 4 statistics).
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }

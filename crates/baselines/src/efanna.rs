@@ -8,7 +8,7 @@
 
 use crate::kdtree::{KdForest, KdForestParams};
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::CompactGraph;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use nsg_core::search::search_from_context_entries;
@@ -42,7 +42,7 @@ impl Default for EfannaParams {
 pub struct EfannaIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    graph: CompactGraph,
     forest: KdForest<D>,
     params: EfannaParams,
 }
@@ -62,14 +62,14 @@ impl<D: Distance + Sync + Clone> EfannaIndex<D> {
         Self {
             base,
             metric,
-            graph: DirectedGraph::from_adjacency(adjacency),
+            graph: CompactGraph::from_adjacency(adjacency),
             forest,
             params,
         }
     }
 
-    /// The kNN graph component (for Table 2 / Table 4 statistics).
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The frozen kNN graph component (for Table 2 / Table 4 statistics).
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }

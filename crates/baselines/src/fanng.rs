@@ -10,7 +10,7 @@
 //! (missing NN edges and non-monotonic paths, §4.1.3 C.4).
 
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::CompactGraph;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
 use nsg_core::neighbor::Neighbor;
@@ -55,7 +55,7 @@ impl Default for FanngParams {
 pub struct FanngIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    graph: CompactGraph,
     params: FanngParams,
 }
 
@@ -94,13 +94,14 @@ impl<D: Distance + Sync> FanngIndex<D> {
         Self {
             base,
             metric,
-            graph: DirectedGraph::from_adjacency(adjacency),
+            graph: CompactGraph::from_adjacency(adjacency),
             params,
         }
     }
 
-    /// The pruned graph (for Table 2 / Table 4 statistics).
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The pruned graph, frozen for querying (for Table 2 / Table 4
+    /// statistics).
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }

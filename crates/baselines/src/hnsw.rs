@@ -19,7 +19,7 @@
 //! paper's HNSW index is 2–3× larger than the NSG.
 
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::{CompactGraph, GraphView};
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
 use nsg_core::neighbor::{CandidatePool, Neighbor};
@@ -58,11 +58,44 @@ pub struct HnswIndex<D> {
     metric: D,
     /// `layers[node][level]` is the neighbor list of `node` at `level`
     /// (level 0 is the bottom layer; a node only has entries up to its own
-    /// maximum level).
+    /// maximum level). This is the mutable build-time structure; it is
+    /// drained once insertion finishes — queries run on
+    /// [`frozen`](Self::frozen) instead.
     layers: Vec<Vec<Vec<u32>>>,
+    /// Number of levels each node participates in (1 + its assigned maximum
+    /// level) — the only per-node layer fact needed after the freeze.
+    node_levels: Vec<u32>,
+    /// `frozen[level]` is the level's adjacency frozen into the contiguous
+    /// CSR layout (every node appears; nodes below the level have degree 0).
+    /// Built once when insertion finishes; the greedy descent and the
+    /// bottom-layer `ef` search both traverse these.
+    frozen: Vec<CompactGraph>,
     entry_point: u32,
     max_level: usize,
     params: HnswParams,
+}
+
+/// Build-time adjacency view of one level of the (still mutable) hierarchy,
+/// letting the construction searches run through the same [`GraphView`]
+/// interface the frozen query path uses.
+struct LayerView<'a> {
+    layers: &'a [Vec<Vec<u32>>],
+    level: usize,
+}
+
+impl GraphView for LayerView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn neighbors(&self, v: u32) -> &[u32] {
+        let levels = &self.layers[v as usize];
+        if self.level < levels.len() {
+            &levels[self.level]
+        } else {
+            &[]
+        }
+    }
 }
 
 impl<D: Distance + Sync> HnswIndex<D> {
@@ -80,6 +113,8 @@ impl<D: Distance + Sync> HnswIndex<D> {
             base: Arc::clone(&base),
             metric,
             layers: Vec::new(),
+            node_levels: Vec::new(),
+            frozen: Vec::new(),
             entry_point: 0,
             max_level: 0,
             params: HnswParams { m, ..params },
@@ -108,7 +143,7 @@ impl<D: Distance + Sync> HnswIndex<D> {
             // Greedy descent through layers above the new node's level.
             let mut lc = max_level;
             while lc > level {
-                ep = index.greedy_closest(query, ep, lc);
+                ep = index.greedy_closest(&index.layer_view(lc), query, ep);
                 if lc == 0 {
                     break;
                 }
@@ -138,6 +173,17 @@ impl<D: Distance + Sync> HnswIndex<D> {
         index.layers = layers;
         index.entry_point = entry_point;
         index.max_level = max_level;
+        // Insertion is over: freeze every level into its CSR form for the
+        // query path, straight through the build-time view (level l spans
+        // all nodes; absent nodes have degree 0) — no intermediate adjacency
+        // clone. Then drop the nested build scratch: keeping it would double
+        // the index's resident adjacency for its whole lifetime.
+        let frozen: Vec<CompactGraph> = (0..=max_level)
+            .map(|level| CompactGraph::from_view(&LayerView { layers: &index.layers, level }))
+            .collect();
+        index.frozen = frozen;
+        index.node_levels = index.layers.iter().map(|levels| levels.len() as u32).collect();
+        index.layers = Vec::new();
         index
     }
 
@@ -184,13 +230,13 @@ impl<D: Distance + Sync> HnswIndex<D> {
     }
 
     /// Pure greedy descent within one layer (used on the layers above the
-    /// target level).
-    fn greedy_closest(&self, query: &[f32], start: u32, layer: usize) -> u32 {
+    /// target level), generic over the build-time or frozen adjacency.
+    fn greedy_closest<G: GraphView + ?Sized>(&self, graph: &G, query: &[f32], start: u32) -> u32 {
         let mut current = start;
         let mut current_dist = self.metric.distance(query, self.base.get(current as usize));
         loop {
             let mut improved = false;
-            for &u in self.neighbors_at(current, layer) {
+            for &u in graph.neighbors(current) {
                 let d = self.metric.distance(query, self.base.get(u as usize));
                 if d < current_dist {
                     current_dist = d;
@@ -204,24 +250,20 @@ impl<D: Distance + Sync> HnswIndex<D> {
         }
     }
 
-    fn neighbors_at(&self, node: u32, layer: usize) -> &[u32] {
-        let levels = &self.layers[node as usize];
-        if layer < levels.len() {
-            &levels[layer]
-        } else {
-            &[]
-        }
+    /// Build-time adjacency view of one level of the mutable hierarchy.
+    fn layer_view(&self, level: usize) -> LayerView<'_> {
+        LayerView { layers: &self.layers, level }
     }
 
     /// Best-first search within one layer with an `ef`-sized pool, running
     /// entirely inside the caller's scratch (zero allocation once warm).
     #[allow(clippy::too_many_arguments)] // private plumbing shared by query and build paths
-    fn search_layer_scratch(
+    fn search_layer_scratch<G: GraphView + ?Sized>(
         &self,
+        graph: &G,
         query: &[f32],
         entries: &[u32],
         ef: usize,
-        layer: usize,
         visited: &mut VisitedSet,
         pool: &mut CandidatePool,
         stats: &mut SearchStats,
@@ -239,7 +281,9 @@ impl<D: Distance + Sync> HnswIndex<D> {
         while let Some(idx) = pool.first_unchecked() {
             let current = pool.mark_checked(idx);
             stats.hops += 1;
-            for &u in self.neighbors_at(current, layer) {
+            // Same next-candidate vector prefetch as the shared Algorithm 1
+            // loop: hide the gather latency of the per-hop reads.
+            for u in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), &self.base) {
                 if !visited.insert(u) {
                     continue;
                 }
@@ -256,13 +300,15 @@ impl<D: Distance + Sync> HnswIndex<D> {
         let mut visited = VisitedSet::new(self.base.len());
         let mut pool = CandidatePool::new(ef.max(1));
         let mut stats = SearchStats::default();
-        self.search_layer_scratch(query, entries, ef, layer, &mut visited, &mut pool, &mut stats);
+        let view = self.layer_view(layer);
+        self.search_layer_scratch(&view, query, entries, ef, &mut visited, &mut pool, &mut stats);
         pool.top_k(pool.len())
     }
 
-    /// The bottom-layer graph (`HNSW0`), the view Table 2 reports.
-    pub fn bottom_layer_graph(&self) -> DirectedGraph {
-        DirectedGraph::from_adjacency(self.layers.iter().map(|levels| levels[0].clone()).collect())
+    /// The bottom-layer graph (`HNSW0`), the view Table 2 reports — a
+    /// borrow of the frozen level-0 CSR the query path actually traverses.
+    pub fn bottom_layer_graph(&self) -> &CompactGraph {
+        &self.frozen[0]
     }
 
     /// The search entry point (top-layer node).
@@ -294,16 +340,17 @@ impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
             return &ctx.results;
         }
         // Greedy descent through the upper layers (one distance per examined
-        // neighbor, counted into the stats).
+        // neighbor, counted into the stats), on the frozen CSR levels.
         let mut ep = self.entry_point;
         let mut lc = self.max_level;
         while lc > 0 {
+            let layer = &self.frozen[lc];
             let mut current = ep;
             let mut current_dist = self.metric.distance(query, self.base.get(current as usize));
             ctx.stats.distance_computations += 1;
             loop {
                 let mut improved = false;
-                for &u in self.neighbors_at(current, lc) {
+                for &u in layer.neighbors(current) {
                     let d = self.metric.distance(query, self.base.get(u as usize));
                     ctx.stats.distance_computations += 1;
                     if d < current_dist {
@@ -320,10 +367,11 @@ impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
             ep = current;
             lc -= 1;
         }
-        // Bottom-layer `ef` search inside the context scratch.
+        // Bottom-layer `ef` search inside the context scratch, on the frozen
+        // level-0 CSR.
         let ef = request.quality.effort.max(request.k).max(1);
         let (visited, pool, stats) = (&mut ctx.visited, &mut ctx.pool, &mut ctx.stats);
-        self.search_layer_scratch(query, &[ep], ef, 0, visited, pool, stats);
+        self.search_layer_scratch(&self.frozen[0], query, &[ep], ef, visited, pool, stats);
         ctx.pool.top_k_into(request.k, &mut ctx.results);
         &ctx.results
     }
@@ -332,13 +380,11 @@ impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
         // All layers use the fixed-degree layout of their cap, as in the
         // released implementation (level 0 gets 2M slots, upper levels M).
         let m = self.params.m;
-        self.layers
+        self.node_levels
             .iter()
-            .map(|levels| {
-                levels
-                    .iter()
-                    .enumerate()
-                    .map(|(l, _)| (if l == 0 { 2 * m } else { m } + 1) * 4)
+            .map(|&levels| {
+                (0..levels as usize)
+                    .map(|l| (if l == 0 { 2 * m } else { m } + 1) * 4)
                     .sum::<usize>()
             })
             .sum()
@@ -390,7 +436,7 @@ mod tests {
         let index = HnswIndex::build(Arc::clone(&base), SquaredEuclidean, HnswParams::default());
         assert!(index.num_layers() >= 2, "expected a hierarchy, got {} layer(s)", index.num_layers());
         // The entry point must live on the top layer.
-        assert_eq!(index.layers[index.entry_point() as usize].len(), index.num_layers());
+        assert_eq!(index.node_levels[index.entry_point() as usize] as usize, index.num_layers());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! and a correspondingly large index.
 
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::CompactGraph;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use nsg_core::search::search_from_context_entries;
@@ -45,11 +45,12 @@ impl Default for KGraphParams {
     }
 }
 
-/// The KGraph index: a kNN graph plus the base vectors.
+/// The KGraph index: a kNN graph (frozen into the contiguous CSR layout)
+/// plus the base vectors.
 pub struct KGraphIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    graph: CompactGraph,
     params: KGraphParams,
 }
 
@@ -68,13 +69,13 @@ impl<D: Distance + Sync> KGraphIndex<D> {
         Self {
             base,
             metric,
-            graph: DirectedGraph::from_adjacency(adjacency),
+            graph: CompactGraph::from_adjacency(adjacency),
             params,
         }
     }
 
-    /// The underlying graph (for Table 2 / Table 4 statistics).
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The underlying frozen graph (for Table 2 / Table 4 statistics).
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }

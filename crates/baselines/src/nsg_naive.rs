@@ -7,7 +7,7 @@
 //! connectivity guarantee are what make the NSG a good MRNG approximation.
 
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::CompactGraph;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
 use nsg_core::neighbor::Neighbor;
@@ -50,7 +50,7 @@ impl Default for NsgNaiveParams {
 pub struct NsgNaiveIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    graph: CompactGraph,
     params: NsgNaiveParams,
 }
 
@@ -76,13 +76,13 @@ impl<D: Distance + Sync> NsgNaiveIndex<D> {
         Self {
             base,
             metric,
-            graph: DirectedGraph::from_adjacency(adjacency),
+            graph: CompactGraph::from_adjacency(adjacency),
             params,
         }
     }
 
-    /// The pruned graph (for the ablation's statistics).
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The pruned graph, frozen for querying (for the ablation's statistics).
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }

@@ -8,7 +8,7 @@
 //! large and whose connectivity is fragile — behaviour reproduced here.
 
 use nsg_core::context::SearchContext;
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::{CompactGraph, DirectedGraph};
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use nsg_core::search::{search_from_context_entries, search_on_graph, SearchParams};
@@ -46,11 +46,12 @@ impl Default for NswParams {
     }
 }
 
-/// The NSW index: a single-layer undirected small-world graph.
+/// The NSW index: a single-layer undirected small-world graph, frozen into
+/// the contiguous CSR layout once insertion finishes.
 pub struct NswIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    graph: CompactGraph,
     params: NswParams,
 }
 
@@ -90,11 +91,12 @@ impl<D: Distance + Sync> NswIndex<D> {
             }
             inserted.push(v);
         }
-        Self { base, metric, graph, params }
+        // Insertions are over: freeze for the query path.
+        Self { base, metric, graph: graph.freeze(), params }
     }
 
-    /// The small-world graph (for Table 2 / Table 4 statistics).
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The frozen small-world graph (for Table 2 / Table 4 statistics).
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }

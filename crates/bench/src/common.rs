@@ -6,7 +6,7 @@ use nsg_baselines::{
     DpgIndex, DpgParams, EfannaIndex, EfannaParams, FanngIndex, FanngParams, HnswIndex, HnswParams,
     KGraphIndex, KGraphParams, NsgNaiveIndex, NsgNaiveParams,
 };
-use nsg_core::graph::DirectedGraph;
+use nsg_core::graph::CompactGraph;
 use nsg_core::index::AnnIndex;
 use nsg_core::nsg::{NsgIndex, NsgParams};
 use nsg_knn::NnDescentParams;
@@ -71,8 +71,8 @@ pub struct BuiltGraphIndex {
     pub name: &'static str,
     /// The searchable index.
     pub index: Box<dyn AnnIndex>,
-    /// The graph the index traverses (HNSW reports its bottom layer).
-    pub graph: DirectedGraph,
+    /// The frozen graph the index traverses (HNSW reports its bottom layer).
+    pub graph: CompactGraph,
     /// The fixed entry point, for the connectivity metric of Table 4
     /// (`None` for methods that start from random nodes).
     pub fixed_entry: Option<u32>,
@@ -117,7 +117,7 @@ pub fn build_graph_methods(base: &Arc<VectorSet>) -> Vec<BuiltGraphIndex> {
     });
     out.push(BuiltGraphIndex {
         name: "HNSW",
-        graph: hnsw.bottom_layer_graph(),
+        graph: hnsw.bottom_layer_graph().clone(),
         fixed_entry: Some(hnsw.entry_point()),
         build_time: t,
         index: Box::new(hnsw),

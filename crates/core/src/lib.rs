@@ -15,7 +15,7 @@ pub mod sharded;
 pub mod stats;
 
 pub use context::SearchContext;
-pub use graph::DirectedGraph;
+pub use graph::{CompactGraph, DirectedGraph, GraphView};
 pub use index::{AnnIndex, SearchQuality, SearchRequest};
 pub use mrng::{build_mrng, build_rng_graph, MrngParams};
 pub use neighbor::{CandidatePool, Neighbor};

@@ -15,7 +15,7 @@
 //! and are meant for analysis-scale datasets and ablations, exactly as in the
 //! paper (the practical index is the NSG).
 
-use crate::graph::DirectedGraph;
+use crate::graph::{DirectedGraph, GraphView};
 use crate::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
@@ -137,8 +137,8 @@ pub fn build_rng_graph<D: Distance + Sync + ?Sized>(base: &VectorSet, metric: &D
 /// a path along which every step strictly decreases the distance to
 /// `base[to]` (Definition 3). Used by the property tests that verify
 /// Theorem 3 (the MRNG is an MSNET) and by the RNG counter-example ablation.
-pub fn has_monotonic_path<D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+pub fn has_monotonic_path<G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     from: u32,
     to: u32,
@@ -176,8 +176,8 @@ pub fn has_monotonic_path<D: Distance + ?Sized>(
 /// Checks whether greedy search (Algorithm 1 with pool size 1, i.e. pure
 /// greedy descent with no backtracking) started at `from` reaches `to`.
 /// Theorem 1 states this always succeeds on an MSNET.
-pub fn greedy_reaches<D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+pub fn greedy_reaches<G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     from: u32,
     to: u32,
@@ -209,8 +209,8 @@ pub fn greedy_reaches<D: Distance + ?Sized>(
 
 /// Fraction of ordered node pairs `(p, q)` connected by a monotonic path.
 /// The MRNG must score 1.0 (Theorem 3); the RNG generally scores below 1.0.
-pub fn monotonic_pair_fraction<D: Distance + Sync + ?Sized>(
-    graph: &DirectedGraph,
+pub fn monotonic_pair_fraction<G: GraphView + Sync + ?Sized, D: Distance + Sync + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     metric: &D,
 ) -> f64 {

@@ -19,7 +19,7 @@
 //! the reusable-context fast path.
 
 use crate::context::SearchContext;
-use crate::graph::DirectedGraph;
+use crate::graph::{CompactGraph, DirectedGraph};
 use crate::index::{AnnIndex, SearchRequest};
 use crate::mrng::mrng_select;
 use crate::neighbor::Neighbor;
@@ -75,7 +75,9 @@ impl Default for NsgParams {
 pub struct NsgIndex<D> {
     base: Arc<VectorSet>,
     metric: D,
-    graph: DirectedGraph,
+    /// The pruned graph, frozen into the contiguous CSR layout once
+    /// Algorithm 2 finishes — every query hop reads one dense neighbor run.
+    graph: CompactGraph,
     navigating_node: u32,
     params: NsgParams,
 }
@@ -99,7 +101,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
             return Self {
                 base,
                 metric,
-                graph: DirectedGraph::new(0),
+                graph: CompactGraph::empty(),
                 navigating_node: 0,
                 params,
             };
@@ -108,7 +110,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
             return Self {
                 base,
                 metric,
-                graph: DirectedGraph::new(1),
+                graph: DirectedGraph::new(1).freeze(),
                 navigating_node: 0,
                 params,
             };
@@ -218,10 +220,12 @@ impl<D: Distance + Sync> NsgIndex<D> {
         // unreachable nodes through their nearest reachable neighbor.
         Self::ensure_connectivity(&mut graph, &base, navigating_node, params.build_pool_size, &metric);
 
+        // Construction is done: freeze the mutable adjacency into the
+        // contiguous query-time layout.
         Self {
             base,
             metric,
-            graph,
+            graph: graph.freeze(),
             navigating_node,
             params,
         }
@@ -285,8 +289,8 @@ impl<D: Distance + Sync> NsgIndex<D> {
         }
     }
 
-    /// The pruned NSG adjacency.
-    pub fn graph(&self) -> &DirectedGraph {
+    /// The pruned NSG adjacency in its frozen query-time (CSR) form.
+    pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 
@@ -315,7 +319,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
     pub fn from_parts(
         base: Arc<VectorSet>,
         metric: D,
-        graph: DirectedGraph,
+        graph: CompactGraph,
         navigating_node: u32,
         params: NsgParams,
     ) -> Self {

@@ -20,7 +20,7 @@
 //!   MRNG-style edge selection during NSG construction.
 
 use crate::context::SearchContext;
-use crate::graph::DirectedGraph;
+use crate::graph::GraphView;
 use crate::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
@@ -160,9 +160,14 @@ impl VisitedSet {
 
 /// The Algorithm 1 main loop, running entirely inside `ctx`'s buffers.
 /// Optionally records every evaluated `(node, distance)` pair into `collect`.
+///
+/// Generic over [`GraphView`]: query paths hand in the frozen
+/// [`CompactGraph`](crate::graph::CompactGraph) (contiguous CSR neighbor
+/// runs), construction-time searches the mutable
+/// [`DirectedGraph`](crate::graph::DirectedGraph) they are still editing.
 #[allow(clippy::too_many_arguments)] // private plumbing shared by the public search variants
-fn run_search<D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+fn run_search<G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     query: &[f32],
     start_nodes: &[u32],
@@ -176,7 +181,7 @@ fn run_search<D: Distance + ?Sized>(
     ctx.pool.reset(params.pool_size);
     ctx.stats = SearchStats::default();
 
-    for &s in start_nodes {
+    for s in nsg_vectors::prefetch::lookahead_ids(start_nodes, base) {
         if (s as usize) < base.len() && ctx.visited.insert(s) {
             let d = metric.distance(query, base.get(s as usize));
             ctx.stats.distance_computations += 1;
@@ -193,7 +198,10 @@ fn run_search<D: Distance + ?Sized>(
     while let Some(idx) = ctx.pool.first_unchecked() {
         let current = ctx.pool.mark_checked(idx);
         ctx.stats.hops += 1;
-        for &n in graph.neighbors(current) {
+        // Hop-expansion gather: while the metric scores candidate `n`, the
+        // next candidate's base vector is already being pulled into cache —
+        // the prefetch discipline the released NSG/HNSW search loops use.
+        for n in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), base) {
             if !ctx.visited.insert(n) {
                 continue;
             }
@@ -222,8 +230,8 @@ fn run_search<D: Distance + ?Sized>(
 /// layer entry, or random nodes for KGraph/FANNG/DPG), but may contain many
 /// entries (Efanna seeds the pool from KD-tree leaves, the random-init
 /// methods fill the whole pool).
-pub fn search_on_graph_into<'a, D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+pub fn search_on_graph_into<'a, G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     query: &[f32],
     start_nodes: &[u32],
@@ -239,8 +247,8 @@ pub fn search_on_graph_into<'a, D: Distance + ?Sized>(
 /// points previously placed in [`SearchContext::entries`] (e.g. by
 /// [`SearchContext::fill_random_entries`]), avoiding a per-query entry
 /// buffer allocation.
-pub fn search_from_context_entries<'a, D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+pub fn search_from_context_entries<'a, G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     query: &[f32],
     params: SearchParams,
@@ -255,8 +263,8 @@ pub fn search_from_context_entries<'a, D: Distance + ?Sized>(
 
 /// Algorithm 1, allocating convenience: runs on a fresh context and returns
 /// an owned [`SearchResult`]. Prefer [`search_on_graph_into`] in loops.
-pub fn search_on_graph<D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+pub fn search_on_graph<G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     query: &[f32],
     start_nodes: &[u32],
@@ -275,8 +283,8 @@ pub fn search_on_graph<D: Distance + ?Sized>(
 /// returns every scored node whose distance to the query was computed along
 /// the way. These visited nodes are the candidate neighbors the NSG
 /// edge-selection prunes with the MRNG strategy.
-pub fn search_collect<D: Distance + ?Sized>(
-    graph: &DirectedGraph,
+pub fn search_collect<G: GraphView + ?Sized, D: Distance + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     query: &[f32],
     start_nodes: &[u32],
@@ -298,6 +306,7 @@ pub fn search_collect<D: Distance + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{CompactGraph, DirectedGraph};
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::synthetic::uniform;
     use nsg_vectors::VectorSet;
@@ -514,6 +523,40 @@ mod tests {
             &SquaredEuclidean,
         );
         assert_eq!(res.ids(), vec![2]);
+    }
+
+    #[test]
+    fn frozen_csr_graph_answers_identically_to_nested_adjacency() {
+        // The tentpole invariant: freezing the build-time graph into the
+        // contiguous CSR layout changes the memory walk, not the algorithm —
+        // answers, ordering and stats must be bit-identical.
+        let base = uniform(800, 12, 5);
+        let mut nested = DirectedGraph::new(800);
+        let mut state = 99u64;
+        for v in 0..800u32 {
+            for _ in 0..10 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (state >> 33) as u32 % 800;
+                if u != v {
+                    nested.add_edge(v, u);
+                }
+            }
+        }
+        let frozen = CompactGraph::from(&nested);
+        let params = SearchParams::new(24, 8);
+        let mut ctx_a = SearchContext::for_points(base.len());
+        let mut ctx_b = SearchContext::for_points(base.len());
+        for q in (0..800).step_by(37) {
+            let a =
+                search_on_graph_into(&nested, &base, base.get(q), &[0], params, &SquaredEuclidean, &mut ctx_a)
+                    .to_vec();
+            let stats_a = ctx_a.stats;
+            let b =
+                search_on_graph_into(&frozen, &base, base.get(q), &[0], params, &SquaredEuclidean, &mut ctx_b)
+                    .to_vec();
+            assert_eq!(a, b, "query {q} differs between nested and CSR adjacency");
+            assert_eq!(stats_a, ctx_b.stats, "query {q} cost differs between layouts");
+        }
     }
 
     #[test]

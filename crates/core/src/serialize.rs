@@ -5,8 +5,19 @@
 //! (magic, navigating node, node count) followed by one record per node
 //! consisting of a `u32` degree and that many `u32` neighbor ids, all
 //! little-endian.
+//!
+//! That record layout is already CSR-shaped, so since the frozen-graph
+//! refactor the decoder fills a [`CompactGraph`] directly: one bounded
+//! streaming pass appends each record's neighbors to the shared arena and
+//! closes the node's offset — no per-node `Vec` allocation, and **no
+//! allocation sized from unvalidated header fields**. Every count read from
+//! the stream (node count, per-node degree) is checked against the bytes
+//! actually remaining before any buffer is reserved, so a corrupt or
+//! adversarial header fails fast with [`SerializeError::Corrupt`] instead of
+//! attempting a multi-gigabyte allocation. The encoder is generic over
+//! [`GraphView`], so both representations write the identical byte stream.
 
-use crate::graph::DirectedGraph;
+use crate::graph::{CompactGraph, GraphView};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{Read, Write};
@@ -22,6 +33,10 @@ pub enum SerializeError {
     Io(std::io::Error),
     /// The byte stream is not a valid serialized NSG graph.
     Corrupt(String),
+    /// The in-memory graph cannot be represented in the on-disk format
+    /// (node count or a degree exceeds `u32`), so encoding it would
+    /// silently truncate into garbage.
+    TooLarge(String),
 }
 
 impl std::fmt::Display for SerializeError {
@@ -29,6 +44,7 @@ impl std::fmt::Display for SerializeError {
         match self {
             SerializeError::Io(e) => write!(f, "i/o error: {e}"),
             SerializeError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+            SerializeError::TooLarge(msg) => write!(f, "graph too large for the format: {msg}"),
         }
     }
 }
@@ -42,24 +58,51 @@ impl From<std::io::Error> for SerializeError {
 }
 
 /// Serializes a graph and its navigating node into a compact byte buffer.
-pub fn graph_to_bytes(graph: &DirectedGraph, navigating_node: u32) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + graph.num_edges() * 4 + graph.num_nodes() * 4);
+///
+/// Generic over [`GraphView`]: the frozen [`CompactGraph`] and the build-time
+/// [`DirectedGraph`](crate::graph::DirectedGraph) encode to the identical
+/// byte stream. Node count and every degree are converted with checked
+/// narrowing — a graph that does not fit the `u32` on-disk fields returns
+/// [`SerializeError::TooLarge`] instead of round-tripping to garbage.
+pub fn graph_to_bytes<G: GraphView + ?Sized>(
+    graph: &G,
+    navigating_node: u32,
+) -> Result<Bytes, SerializeError> {
+    let n = u32::try_from(graph.num_nodes())
+        .map_err(|_| SerializeError::TooLarge(format!("{} nodes exceed u32", graph.num_nodes())))?;
+    // The decoder rebuilds u32 CSR offsets, so the *total* edge count must
+    // fit u32 as well — otherwise the encoder would happily write a file
+    // `graph_from_bytes` can never read back.
+    let edges = graph.num_edges();
+    if u32::try_from(edges).is_err() {
+        return Err(SerializeError::TooLarge(format!("{edges} total edges exceed u32")));
+    }
+    let mut buf = BytesMut::with_capacity(12 + edges * 4 + graph.num_nodes() * 4);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(navigating_node);
-    buf.put_u32_le(graph.num_nodes() as u32);
-    for v in 0..graph.num_nodes() as u32 {
+    buf.put_u32_le(n);
+    for v in 0..n {
         let neighbors = graph.neighbors(v);
-        buf.put_u32_le(neighbors.len() as u32);
+        let degree = u32::try_from(neighbors.len()).map_err(|_| {
+            SerializeError::TooLarge(format!("degree {} of node {v} exceeds u32", neighbors.len()))
+        })?;
+        buf.put_u32_le(degree);
         for &u in neighbors {
             buf.put_u32_le(u);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-/// Deserializes a graph produced by [`graph_to_bytes`], returning the graph
-/// and the navigating node.
-pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(DirectedGraph, u32), SerializeError> {
+/// Deserializes a graph produced by [`graph_to_bytes`], returning the frozen
+/// [`CompactGraph`] and the navigating node.
+///
+/// The decode is a bounded streaming fill: header counts are validated
+/// against `bytes.remaining()` **before** any allocation (a corrupt header
+/// claiming `u32::MAX` nodes is rejected in O(1) instead of reserving ~96 GB
+/// of `Vec` headers), and each node's neighbor run is appended straight to
+/// the CSR arena.
+pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(CompactGraph, u32), SerializeError> {
     if bytes.remaining() < 12 {
         return Err(SerializeError::Corrupt("truncated header".into()));
     }
@@ -69,7 +112,22 @@ pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(DirectedGraph, u32), Serial
     }
     let navigating_node = bytes.get_u32_le();
     let n = bytes.get_u32_le() as usize;
-    let mut adjacency = Vec::with_capacity(n);
+    // Every node record is at least one u32 (its degree), so a stream holding
+    // `r` bytes can encode at most `r / 4` nodes. Checking before reserving
+    // bounds both allocations below by the actual input size.
+    let max_records = bytes.remaining() / 4;
+    if n > max_records {
+        return Err(SerializeError::Corrupt(format!(
+            "header claims {n} nodes but only {} bytes remain",
+            bytes.remaining()
+        )));
+    }
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    // The arena can never exceed the remaining u32 words either; reserving
+    // the exact final size up front would need a second pass, so start from
+    // a degree-guess and let growth stay amortized-linear and input-bounded.
+    let mut targets: Vec<u32> = Vec::with_capacity(max_records.saturating_sub(n));
     for v in 0..n {
         if bytes.remaining() < 4 {
             return Err(SerializeError::Corrupt(format!("truncated degree of node {v}")));
@@ -78,36 +136,37 @@ pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(DirectedGraph, u32), Serial
         if bytes.remaining() < degree * 4 {
             return Err(SerializeError::Corrupt(format!("truncated neighbor list of node {v}")));
         }
-        let mut list = Vec::with_capacity(degree);
         for _ in 0..degree {
             let u = bytes.get_u32_le();
             if u as usize >= n {
                 return Err(SerializeError::Corrupt(format!("edge {v} -> {u} out of range")));
             }
-            list.push(u);
+            targets.push(u);
         }
-        adjacency.push(list);
+        let end = u32::try_from(targets.len())
+            .map_err(|_| SerializeError::Corrupt("edge count exceeds u32".into()))?;
+        offsets.push(end);
     }
     if n > 0 && navigating_node as usize >= n {
         return Err(SerializeError::Corrupt("navigating node out of range".into()));
     }
-    Ok((DirectedGraph::from_adjacency(adjacency), navigating_node))
+    Ok((CompactGraph::from_validated_parts(offsets, targets), navigating_node))
 }
 
 /// Writes the serialized graph to a file.
-pub fn save_graph<P: AsRef<Path>>(
+pub fn save_graph<P: AsRef<Path>, G: GraphView + ?Sized>(
     path: P,
-    graph: &DirectedGraph,
+    graph: &G,
     navigating_node: u32,
 ) -> Result<(), SerializeError> {
-    let bytes = graph_to_bytes(graph, navigating_node);
+    let bytes = graph_to_bytes(graph, navigating_node)?;
     let mut file = File::create(path)?;
     file.write_all(&bytes)?;
     Ok(())
 }
 
 /// Reads a serialized graph from a file.
-pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<(DirectedGraph, u32), SerializeError> {
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<(CompactGraph, u32), SerializeError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     graph_from_bytes(&bytes)
@@ -116,18 +175,33 @@ pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<(DirectedGraph, u32), Seria
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::DirectedGraph;
 
-    fn toy_graph() -> DirectedGraph {
-        DirectedGraph::from_adjacency(vec![vec![1, 2], vec![2], vec![], vec![0, 1, 2]])
+    fn toy_graph() -> CompactGraph {
+        CompactGraph::from_adjacency(vec![vec![1, 2], vec![2], vec![], vec![0, 1, 2]])
     }
 
     #[test]
     fn roundtrip_in_memory() {
         let g = toy_graph();
-        let bytes = graph_to_bytes(&g, 3);
+        let bytes = graph_to_bytes(&g, 3).unwrap();
         let (back, nav) = graph_from_bytes(&bytes).unwrap();
         assert_eq!(back, g);
         assert_eq!(nav, 3);
+    }
+
+    #[test]
+    fn directed_and_compact_encode_identically() {
+        // Same MAGIC, same records: a file written from either representation
+        // is readable as the other — the format did not fork.
+        let lists = vec![vec![1u32, 2], vec![2], vec![], vec![0, 1, 2]];
+        let nested = DirectedGraph::from_adjacency(lists.clone());
+        let frozen = CompactGraph::from_adjacency(lists);
+        let a = graph_to_bytes(&nested, 2).unwrap();
+        let b = graph_to_bytes(&frozen, 2).unwrap();
+        assert_eq!(a, b, "encodings diverge between representations");
+        let (back, _) = graph_from_bytes(&a).unwrap();
+        assert_eq!(back.to_directed(), nested);
     }
 
     #[test]
@@ -145,28 +219,64 @@ mod tests {
 
     #[test]
     fn empty_graph_roundtrips() {
-        let g = DirectedGraph::new(0);
-        let bytes = graph_to_bytes(&g, 0);
+        let g = CompactGraph::empty();
+        let bytes = graph_to_bytes(&g, 0).unwrap();
         let (back, _) = graph_from_bytes(&bytes).unwrap();
         assert_eq!(back.num_nodes(), 0);
     }
 
     #[test]
     fn bad_magic_is_rejected() {
-        let mut bytes = graph_to_bytes(&toy_graph(), 0).to_vec();
+        let mut bytes = graph_to_bytes(&toy_graph(), 0).unwrap().to_vec();
         bytes[0] ^= 0xFF;
         assert!(matches!(graph_from_bytes(&bytes), Err(SerializeError::Corrupt(_))));
     }
 
     #[test]
     fn truncated_stream_is_rejected() {
-        let bytes = graph_to_bytes(&toy_graph(), 0);
+        let bytes = graph_to_bytes(&toy_graph(), 0).unwrap();
         for cut in [0, 5, 11, bytes.len() - 1] {
             assert!(
                 graph_from_bytes(&bytes[..cut]).is_err(),
                 "truncation at {cut} bytes not detected"
             );
         }
+    }
+
+    #[test]
+    fn corrupt_header_node_count_fails_fast_without_allocating() {
+        // Regression: the decoder used to `Vec::with_capacity(n)` straight
+        // from the header — a stream claiming u32::MAX nodes requested ~96 GB
+        // of `Vec` headers before reading a single record. The claimed count
+        // must now be bounded by the bytes actually present.
+        for claimed in [u32::MAX, u32::MAX / 2, 1_000_000] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(MAGIC);
+            buf.put_u32_le(0); // navigating node
+            buf.put_u32_le(claimed); // wildly overstated node count
+            buf.put_u32_le(0); // a single real record
+            let err = graph_from_bytes(&buf.freeze()).unwrap_err();
+            assert!(
+                matches!(&err, SerializeError::Corrupt(msg) if msg.contains("claims")),
+                "claimed {claimed}: expected fast corrupt-header rejection, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_degree_is_bounded_by_remaining_bytes() {
+        // A single node whose degree field claims far more neighbors than the
+        // stream holds must be rejected before any arena growth.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1); // one node
+        buf.put_u32_le(u32::MAX); // degree overstated by ~4 billion
+        buf.put_u32_le(0); // only one neighbor word actually present
+        assert!(matches!(
+            graph_from_bytes(&buf.freeze()),
+            Err(SerializeError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -200,7 +310,7 @@ mod tests {
     #[test]
     fn serialized_size_matches_fixed_structure() {
         let g = toy_graph();
-        let bytes = graph_to_bytes(&g, 0);
+        let bytes = graph_to_bytes(&g, 0).unwrap();
         // header 12 bytes + 4 degree words + 6 edge words.
         assert_eq!(bytes.len(), 12 + 4 * 4 + 6 * 4);
     }

@@ -9,7 +9,10 @@
 //! NSG is built per shard, and a query is answered by searching every shard
 //! and merging the top-k — all inside one reusable [`SearchContext`], with
 //! the merged answer expressed in the same [`Neighbor`] unit every other
-//! index returns (global ids, exact distances).
+//! index returns (global ids, exact distances). Each shard's graph is the
+//! frozen CSR [`CompactGraph`](crate::graph::CompactGraph) its `NsgIndex`
+//! froze at build time, so every per-shard search runs on the contiguous
+//! query-time layout.
 
 use crate::context::SearchContext;
 use crate::index::{AnnIndex, SearchRequest};

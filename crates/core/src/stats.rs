@@ -3,7 +3,7 @@
 //! (NN%), strongly connected components, and reachability from a fixed entry
 //! point.
 
-use crate::graph::DirectedGraph;
+use crate::graph::GraphView;
 use nsg_knn::KnnGraph;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::VectorSet;
@@ -28,8 +28,8 @@ pub struct GraphIndexStats {
 /// The NN% column requires each node's exact nearest neighbor; it is computed
 /// with a brute-force scan per node (rayon-parallel), so this is intended for
 /// the analysis-scale datasets of the reproduction.
-pub fn graph_index_stats<D: Distance + Sync + ?Sized>(
-    graph: &DirectedGraph,
+pub fn graph_index_stats<G: GraphView + Sync + ?Sized, D: Distance + Sync + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     metric: &D,
 ) -> GraphIndexStats {
@@ -43,8 +43,8 @@ pub fn graph_index_stats<D: Distance + Sync + ?Sized>(
 
 /// Percentage (0–100) of nodes whose exact nearest neighbor is among their
 /// out-neighbors.
-pub fn nn_percentage<D: Distance + Sync + ?Sized>(
-    graph: &DirectedGraph,
+pub fn nn_percentage<G: GraphView + Sync + ?Sized, D: Distance + Sync + ?Sized>(
+    graph: &G,
     base: &VectorSet,
     metric: &D,
 ) -> f64 {
@@ -76,7 +76,7 @@ pub fn nn_percentage<D: Distance + Sync + ?Sized>(
 
 /// Same NN% computation but against a precomputed exact kNN graph (avoids the
 /// quadratic scan when one is already available).
-pub fn nn_percentage_from_exact(graph: &DirectedGraph, exact: &KnnGraph) -> f64 {
+pub fn nn_percentage_from_exact<G: GraphView + ?Sized>(graph: &G, exact: &KnnGraph) -> f64 {
     let n = graph.num_nodes();
     if n == 0 {
         return 100.0;
@@ -94,7 +94,7 @@ pub fn nn_percentage_from_exact(graph: &DirectedGraph, exact: &KnnGraph) -> f64 
 /// Number of nodes reachable from `root` by directed edges (including `root`
 /// itself). Table 4 records the NSG / HNSW connectivity as "1 SCC" when every
 /// node is reachable from the fixed entry point.
-pub fn reachable_count(graph: &DirectedGraph, root: u32) -> usize {
+pub fn reachable_count<G: GraphView + ?Sized>(graph: &G, root: u32) -> usize {
     if graph.is_empty() {
         return 0;
     }
@@ -117,7 +117,7 @@ pub fn reachable_count(graph: &DirectedGraph, root: u32) -> usize {
 /// Number of strongly connected components of the directed graph (iterative
 /// Tarjan). This is the SCC column of Table 4 for the methods whose search
 /// starts from a random node.
-pub fn strongly_connected_components(graph: &DirectedGraph) -> usize {
+pub fn strongly_connected_components<G: GraphView + ?Sized>(graph: &G) -> usize {
     let n = graph.num_nodes();
     if n == 0 {
         return 0;
@@ -178,7 +178,7 @@ pub fn strongly_connected_components(graph: &DirectedGraph) -> usize {
 /// The connectivity summary of Table 4: for fixed-entry methods (NSG, HNSW)
 /// the paper records 1 when every node is reachable from the entry point; for
 /// the others it records the number of SCCs.
-pub fn connectivity_metric(graph: &DirectedGraph, fixed_entry: Option<u32>) -> usize {
+pub fn connectivity_metric<G: GraphView + ?Sized>(graph: &G, fixed_entry: Option<u32>) -> usize {
     match fixed_entry {
         Some(root) if !graph.is_empty() => {
             if reachable_count(graph, root) == graph.num_nodes() {
@@ -198,6 +198,7 @@ pub fn connectivity_metric(graph: &DirectedGraph, fixed_entry: Option<u32>) -> u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{CompactGraph, DirectedGraph};
     use nsg_vectors::distance::SquaredEuclidean;
     use nsg_vectors::synthetic::uniform;
     use nsg_vectors::VectorSet;
@@ -279,6 +280,25 @@ mod tests {
         let b = nn_percentage_from_exact(&g, &exact);
         assert_eq!(a, 100.0);
         assert_eq!(b, 100.0);
+    }
+
+    #[test]
+    fn analytics_accept_the_frozen_graph() {
+        // Table 2/4 statistics must run on the query-time CompactGraph too —
+        // the experiment binaries report on frozen indices directly.
+        let nested = DirectedGraph::from_adjacency(vec![vec![1, 2], vec![], vec![1], vec![0]]);
+        let frozen = CompactGraph::from(&nested);
+        assert_eq!(reachable_count(&frozen, 0), reachable_count(&nested, 0));
+        assert_eq!(
+            strongly_connected_components(&frozen),
+            strongly_connected_components(&nested)
+        );
+        assert_eq!(connectivity_metric(&frozen, Some(3)), connectivity_metric(&nested, Some(3)));
+        let base = VectorSet::from_rows(1, &[[0.0], [1.0], [2.0], [3.0]]);
+        assert_eq!(
+            graph_index_stats(&frozen, &base, &SquaredEuclidean),
+            graph_index_stats(&nested, &base, &SquaredEuclidean)
+        );
     }
 
     #[test]

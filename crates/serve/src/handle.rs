@@ -12,6 +12,13 @@
 //! `(index, generation)` pair — never a torn mix of old graph and new
 //! vectors — and an old index is freed only when the last in-flight reader
 //! drops its clone.
+//!
+//! Since the frozen-graph refactor, every graph index behind the
+//! `Arc<dyn AnnIndex>` carries its adjacency as a frozen CSR
+//! `CompactGraph` (`nsg_core::graph`): a snapshot is immutable by
+//! construction, its neighbor arena is one contiguous allocation shared by
+//! all worker threads, and the workers' hot loops get the flat-layout +
+//! prefetch traversal on every served query.
 
 use nsg_core::index::AnnIndex;
 use parking_lot::RwLock;

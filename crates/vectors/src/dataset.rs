@@ -129,6 +129,19 @@ impl VectorSet {
         &self.data
     }
 
+    /// Hints the CPU to pull vector `i` into cache (see [`crate::prefetch`]).
+    /// The graph-search expansion loop calls this on the *next* candidate
+    /// while scoring the current one, hiding the gather latency of the
+    /// random-access reads Algorithm 1 performs per hop. No-op when `i` is
+    /// out of range or the target has no prefetch instruction.
+    #[inline(always)]
+    pub fn prefetch(&self, i: usize) {
+        let start = i * self.dim;
+        if let Some(row) = self.data.get(start..start + self.dim) {
+            crate::prefetch::prefetch_slice(row);
+        }
+    }
+
     /// Iterates over vectors in id order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
         self.data.chunks_exact(self.dim)

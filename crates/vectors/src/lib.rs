@@ -16,6 +16,8 @@
 //!   computation,
 //! * [`metrics`] — the precision / recall definition of Eq. (1),
 //! * [`lid`] — the local intrinsic dimension estimator used in Table 1,
+//! * [`prefetch`] — software-prefetch primitives (no-op on unsupported
+//!   targets) that hide the gather latency of per-hop vector reads,
 //! * [`sample`] — deterministic sampling and train/query/validation splits.
 //!
 //! All randomized routines take explicit seeds so experiments are reproducible.
@@ -26,10 +28,12 @@ pub mod ground_truth;
 pub mod io;
 pub mod lid;
 pub mod metrics;
+pub mod prefetch;
 pub mod sample;
 pub mod synthetic;
 
 pub use dataset::VectorSet;
 pub use distance::{CountingDistance, Distance, DistanceKind, Euclidean, InnerProduct, SquaredEuclidean};
 pub use ground_truth::{exact_knn, exact_knn_single, GroundTruth};
+pub use prefetch::{prefetch_read, prefetch_slice};
 pub use metrics::{precision_at_k, recall_curve};

@@ -1,0 +1,121 @@
+//! Software prefetch of base vectors for the graph-search hot loop.
+//!
+//! Algorithm 1's neighbor expansion is a gather: each hop reads `o` base
+//! vectors at ids the graph dictates, so every distance computation starts
+//! with a cold cache line. The released NSG / HNSW implementations hide that
+//! latency by issuing a software prefetch for the *next* candidate's vector
+//! while the current one is being scored — the flat-layout + prefetch
+//! discipline this crate's [`VectorSet`](crate::VectorSet) exists to enable.
+//!
+//! [`prefetch_read`] is the raw primitive (L1, read intent);
+//! [`prefetch_slice`] issues one prefetch per cache line of a vector (capped
+//! — see [`MAX_PREFETCH_LINES`]). On targets without a known prefetch
+//! instruction both compile to a no-op, so callers sprinkle them freely.
+
+/// Cache-line size assumed when striding prefetches over a vector. 64 bytes
+/// matches every x86-64 and the common aarch64 parts; being wrong only costs
+/// redundant (harmless) prefetch hints.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Upper bound on prefetch instructions issued per [`prefetch_slice`] call.
+/// A 128-d f32 vector spans 8 lines; beyond a handful of lines the prefetch
+/// distance outruns the loop and the hints evict useful data instead of
+/// hiding latency.
+pub const MAX_PREFETCH_LINES: usize = 8;
+
+/// Hints the CPU to pull the cache line containing `ptr` into L1 with read
+/// intent. No-op on targets without a prefetch instruction (and on miri,
+/// where the intrinsic is unsupported). Never faults: prefetch instructions
+/// ignore invalid addresses on both supported ISAs, so any pointer value is
+/// safe to pass.
+#[inline(always)]
+pub fn prefetch_read(ptr: *const u8) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    // SAFETY: PREFETCHT0 is architecturally defined to not fault regardless
+    // of the address, and is available on every x86-64 CPU (SSE baseline).
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
+    // SAFETY: PRFM PLDL1KEEP is a hint; it never faults and touches no
+    // architectural state beyond the cache.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{ptr}]",
+            ptr = in(reg) ptr,
+            options(nostack, preserves_flags, readonly),
+        );
+    }
+    #[cfg(not(all(any(target_arch = "x86_64", target_arch = "aarch64"), not(miri))))]
+    let _ = ptr;
+}
+
+/// Prefetches the cache lines backing `v` (one hint per [`CACHE_LINE_BYTES`],
+/// at most [`MAX_PREFETCH_LINES`]) — the form the search loop uses on the
+/// next candidate's base vector.
+#[inline(always)]
+pub fn prefetch_slice(v: &[f32]) {
+    let bytes = std::mem::size_of_val(v);
+    let lines = bytes.div_ceil(CACHE_LINE_BYTES).clamp(1, MAX_PREFETCH_LINES);
+    let base = v.as_ptr() as *const u8;
+    for line in 0..lines {
+        // In-bounds for every line except possibly one past a short final
+        // line; `prefetch_read` is defined for any address either way.
+        prefetch_read(base.wrapping_add(line * CACHE_LINE_BYTES));
+    }
+}
+
+/// Iterates over candidate node ids while prefetching each *next*
+/// candidate's base vector one step ahead — the shared expansion-loop
+/// discipline of the Algorithm 1 and HNSW hot paths: by the time a
+/// candidate's distance is computed, its vector has been in flight for one
+/// full iteration. The first candidate is prefetched immediately so it
+/// overlaps the caller's preceding bookkeeping (e.g. the visited-set probe).
+pub fn lookahead_ids<'a>(
+    ids: &'a [u32],
+    base: &'a crate::VectorSet,
+) -> impl Iterator<Item = u32> + 'a {
+    if let Some(&first) = ids.first() {
+        base.prefetch(first as usize);
+    }
+    ids.iter().enumerate().map(move |(i, &n)| {
+        if let Some(&next) = ids.get(i + 1) {
+            base.prefetch(next as usize);
+        }
+        n
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_semantically() {
+        // Prefetch must not fault or alter data, including on edge cases.
+        let v = vec![1.0f32; 256];
+        prefetch_slice(&v);
+        prefetch_slice(&v[..1]);
+        prefetch_slice(&[]);
+        prefetch_read(std::ptr::null());
+        prefetch_read(usize::MAX as *const u8);
+        assert!(v.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn lookahead_yields_every_id_in_order() {
+        let base = crate::VectorSet::from_rows(2, &[[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]);
+        let ids = [2u32, 0, 1, 2];
+        let out: Vec<u32> = lookahead_ids(&ids, &base).collect();
+        assert_eq!(out, ids);
+        assert_eq!(lookahead_ids(&[], &base).count(), 0);
+    }
+
+    #[test]
+    fn line_math_covers_typical_dimensions() {
+        // 128-d f32 = 512 bytes = 8 lines — exactly the cap.
+        assert_eq!((128usize * 4).div_ceil(CACHE_LINE_BYTES), MAX_PREFETCH_LINES);
+        // A 4-d vector still issues one hint.
+        assert_eq!((4usize * 4).div_ceil(CACHE_LINE_BYTES).clamp(1, MAX_PREFETCH_LINES), 1);
+    }
+}

@@ -47,7 +47,7 @@ fn main() {
     // as a production deployment would ship indices to serving machines.
     let mut total_bytes = 0usize;
     for (i, shard) in sharded.shards().iter().enumerate() {
-        let bytes = graph_to_bytes(shard.graph(), shard.navigating_node());
+        let bytes = graph_to_bytes(shard.graph(), shard.navigating_node()).expect("fits the format");
         total_bytes += bytes.len();
         let (graph, nav) = graph_from_bytes(&bytes).expect("round-trip");
         assert_eq!(&graph, shard.graph());

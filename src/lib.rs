@@ -79,6 +79,7 @@ pub mod prelude {
         NsgNaiveIndex, NswIndex, SerialScan,
     };
     pub use nsg_core::context::{PinnedContext, SearchContext};
+    pub use nsg_core::graph::{CompactGraph, DirectedGraph, GraphView};
     pub use nsg_core::index::{AnnIndex, SearchQuality, SearchRequest};
     pub use nsg_core::neighbor::{self, Neighbor};
     pub use nsg_core::nsg::{NsgIndex, NsgParams};

@@ -63,7 +63,7 @@ fn serialized_index_answers_identically_after_reload() {
     let base = Arc::new(base);
     let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, test_params());
 
-    let bytes = graph_to_bytes(index.graph(), index.navigating_node());
+    let bytes = graph_to_bytes(index.graph(), index.navigating_node()).expect("encodable graph");
     let (graph, nav) = graph_from_bytes(&bytes).expect("valid serialized graph");
     let reloaded = NsgIndex::from_parts(Arc::clone(&base), SquaredEuclidean, graph, nav, *index.params());
 

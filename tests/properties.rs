@@ -16,6 +16,14 @@ fn point_set() -> impl Strategy<Value = VectorSet> {
     })
 }
 
+/// Strategy: arbitrary directed-graph adjacency on 1–40 nodes (duplicate
+/// edges and self-loops permitted, as the mutable build structure allows).
+fn adjacency() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    (1usize..40).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 0usize..12), n)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -123,6 +131,63 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&p));
         let full = nsg::vectors::metrics::precision_at_k(&exact, &exact);
         prop_assert!((full - 1.0).abs() < 1e-12);
+    }
+
+    /// Freezing a build-time graph into the CSR `CompactGraph` preserves the
+    /// whole adjacency observable through `GraphView`: per-node neighbor
+    /// lists (order included), out-degrees, and the edge count.
+    #[test]
+    fn compact_graph_freeze_preserves_adjacency(lists in adjacency()) {
+        let nested = DirectedGraph::from_adjacency(lists);
+        let frozen = CompactGraph::from(&nested);
+        prop_assert_eq!(frozen.num_nodes(), nested.num_nodes());
+        prop_assert_eq!(frozen.num_edges(), nested.num_edges());
+        prop_assert_eq!(frozen.max_out_degree(), nested.max_out_degree());
+        for v in 0..nested.num_nodes() as u32 {
+            prop_assert_eq!(frozen.neighbors(v), nested.neighbors(v), "node {} list differs", v);
+            prop_assert_eq!(frozen.out_degree(v), nested.out_degree(v), "node {} degree differs", v);
+        }
+        // Thawing gets the original back exactly.
+        prop_assert_eq!(frozen.to_directed(), nested);
+    }
+
+    /// Serialization through the CSR path is byte-identical to the original
+    /// nested-`Vec` on-disk format: same magic, same header, same per-node
+    /// records — files written before the frozen-graph refactor stay
+    /// readable, and both representations encode the same stream.
+    #[test]
+    fn csr_serialization_is_byte_identical_to_the_legacy_format(
+        lists in adjacency(),
+        nav_pick in 0usize..40,
+    ) {
+        use nsg::core::serialize::{graph_from_bytes, graph_to_bytes};
+
+        let nested = DirectedGraph::from_adjacency(lists.clone());
+        let frozen = CompactGraph::from(&nested);
+        let nav = (nav_pick % nested.num_nodes()) as u32;
+
+        // The legacy encoder, spelled out: magic "NSG1", navigating node,
+        // node count, then per node a u32 degree + the neighbor ids, all LE.
+        let mut legacy: Vec<u8> = Vec::new();
+        legacy.extend_from_slice(&0x4E53_4731u32.to_le_bytes());
+        legacy.extend_from_slice(&nav.to_le_bytes());
+        legacy.extend_from_slice(&(lists.len() as u32).to_le_bytes());
+        for list in &lists {
+            legacy.extend_from_slice(&(list.len() as u32).to_le_bytes());
+            for &u in list {
+                legacy.extend_from_slice(&u.to_le_bytes());
+            }
+        }
+
+        let from_frozen = graph_to_bytes(&frozen, nav).unwrap();
+        let from_nested = graph_to_bytes(&nested, nav).unwrap();
+        prop_assert_eq!(&from_frozen[..], &legacy[..], "CSR encoder diverged from the legacy bytes");
+        prop_assert_eq!(&from_nested[..], &legacy[..], "nested encoder diverged from the legacy bytes");
+
+        // A legacy file decodes into the same frozen graph + navigating node.
+        let (decoded, decoded_nav) = graph_from_bytes(&legacy).unwrap();
+        prop_assert_eq!(&decoded, &frozen);
+        prop_assert_eq!(decoded_nav, nav);
     }
 
     /// fvecs serialization round-trips arbitrary finite vector sets.
