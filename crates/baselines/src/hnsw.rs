@@ -23,8 +23,10 @@ use nsg_core::graph::{CompactGraph, GraphView};
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::mrng::mrng_select;
 use nsg_core::neighbor::{CandidatePool, Neighbor};
-use nsg_core::search::{SearchStats, VisitedSet};
+use nsg_core::search::{exact_rerank, SearchStats, VisitedSet};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::quant::Sq8VectorSet;
+use nsg_vectors::store::{QueryScratch, VectorStore};
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,8 +55,17 @@ impl Default for HnswParams {
 }
 
 /// The HNSW index.
-pub struct HnswIndex<D> {
+///
+/// Generic over the traversal [`VectorStore`]: built on `f32` rows,
+/// optionally re-frozen onto SQ8 codes with
+/// [`quantize_sq8`](Self::quantize_sq8), which puts the greedy upper-layer
+/// descent *and* the bottom-layer `ef` search on the quantized kernels;
+/// two-phase requests ([`SearchRequest::with_rerank`]) rescore the
+/// bottom-layer candidates against the retained rows.
+pub struct HnswIndex<D, S: VectorStore = VectorSet> {
     base: Arc<VectorSet>,
+    /// The store every search-path distance evaluation reads.
+    store: Arc<S>,
     metric: D,
     /// `layers[node][level]` is the neighbor list of `node` at `level`
     /// (level 0 is the bottom layer; a node only has entries up to its own
@@ -110,6 +121,7 @@ impl<D: Distance + Sync> HnswIndex<D> {
         let mut max_level = 0usize;
 
         let mut index = Self {
+            store: Arc::clone(&base),
             base: Arc::clone(&base),
             metric,
             layers: Vec::new(),
@@ -187,6 +199,22 @@ impl<D: Distance + Sync> HnswIndex<D> {
         index
     }
 
+    /// Re-freezes the search path onto SQ8 scalar-quantized codes (the
+    /// hierarchy and retained `f32` rows are untouched).
+    pub fn quantize_sq8(self) -> HnswIndex<D, Sq8VectorSet> {
+        HnswIndex {
+            store: Arc::new(Sq8VectorSet::encode(&self.base)),
+            base: self.base,
+            metric: self.metric,
+            layers: self.layers,
+            node_levels: self.node_levels,
+            frozen: self.frozen,
+            entry_point: self.entry_point,
+            max_level: self.max_level,
+            params: self.params,
+        }
+    }
+
     fn max_degree_at(&self, layer: usize) -> usize {
         if layer == 0 {
             self.params.m * 2
@@ -255,25 +283,43 @@ impl<D: Distance + Sync> HnswIndex<D> {
         LayerView { layers: &self.layers, level }
     }
 
-    /// Best-first search within one layer with an `ef`-sized pool, running
-    /// entirely inside the caller's scratch (zero allocation once warm).
+    /// Allocating convenience over [`search_layer_scratch`](Self::search_layer_scratch)
+    /// used during construction; returns the pool contents sorted ascending.
+    fn search_layer(&self, query: &[f32], entries: &[u32], ef: usize, layer: usize) -> Vec<Neighbor> {
+        let mut visited = VisitedSet::new(self.base.len());
+        let mut pool = CandidatePool::new(ef.max(1));
+        let mut stats = SearchStats::default();
+        let mut scratch = QueryScratch::new();
+        self.store.prepare_query(&self.metric, query, &mut scratch);
+        let view = self.layer_view(layer);
+        self.search_layer_scratch(&view, &scratch, entries, ef, &mut visited, &mut pool, &mut stats);
+        pool.top_k(pool.len())
+    }
+}
+
+impl<D: Distance + Sync, S: VectorStore> HnswIndex<D, S> {
+    /// Best-first search within one layer with an `ef`-sized pool against a
+    /// query already prepared into `scratch` (see
+    /// [`VectorStore::prepare_query`]), running entirely inside the caller's
+    /// buffers (zero allocation once warm).
     #[allow(clippy::too_many_arguments)] // private plumbing shared by query and build paths
     fn search_layer_scratch<G: GraphView + ?Sized>(
         &self,
         graph: &G,
-        query: &[f32],
+        scratch: &QueryScratch,
         entries: &[u32],
         ef: usize,
         visited: &mut VisitedSet,
         pool: &mut CandidatePool,
         stats: &mut SearchStats,
     ) {
-        visited.ensure_capacity(self.base.len());
+        let store = self.store.as_ref();
+        visited.ensure_capacity(store.len());
         visited.next_epoch();
         pool.reset(ef.max(1));
         for &e in entries {
-            if (e as usize) < self.base.len() && visited.insert(e) {
-                pool.insert(e, self.metric.distance(query, self.base.get(e as usize)));
+            if (e as usize) < store.len() && visited.insert(e) {
+                pool.insert(e, store.dist_to(&self.metric, scratch, e as usize));
                 stats.distance_computations += 1;
                 stats.visited += 1;
             }
@@ -283,32 +329,26 @@ impl<D: Distance + Sync> HnswIndex<D> {
             stats.hops += 1;
             // Same next-candidate vector prefetch as the shared Algorithm 1
             // loop: hide the gather latency of the per-hop reads.
-            for u in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), &self.base) {
+            for u in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), store) {
                 if !visited.insert(u) {
                     continue;
                 }
-                pool.insert(u, self.metric.distance(query, self.base.get(u as usize)));
+                pool.insert(u, store.dist_to(&self.metric, scratch, u as usize));
                 stats.distance_computations += 1;
                 stats.visited += 1;
             }
         }
     }
 
-    /// Allocating convenience over [`search_layer_scratch`](Self::search_layer_scratch)
-    /// used during construction; returns the pool contents sorted ascending.
-    fn search_layer(&self, query: &[f32], entries: &[u32], ef: usize, layer: usize) -> Vec<Neighbor> {
-        let mut visited = VisitedSet::new(self.base.len());
-        let mut pool = CandidatePool::new(ef.max(1));
-        let mut stats = SearchStats::default();
-        let view = self.layer_view(layer);
-        self.search_layer_scratch(&view, query, entries, ef, &mut visited, &mut pool, &mut stats);
-        pool.top_k(pool.len())
-    }
-
     /// The bottom-layer graph (`HNSW0`), the view Table 2 reports — a
     /// borrow of the frozen level-0 CSR the query path actually traverses.
     pub fn bottom_layer_graph(&self) -> &CompactGraph {
         &self.frozen[0]
+    }
+
+    /// The store the search path evaluates distances against.
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
     }
 
     /// The search entry point (top-layer node).
@@ -323,7 +363,7 @@ impl<D: Distance + Sync> HnswIndex<D> {
 
 }
 
-impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
+impl<D: Distance + Sync, S: VectorStore> AnnIndex for HnswIndex<D, S> {
     fn new_context(&self) -> SearchContext {
         SearchContext::for_points(self.base.len())
     }
@@ -339,6 +379,10 @@ impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
         if self.base.is_empty() || request.k == 0 {
             return &ctx.results;
         }
+        // One query preparation serves the whole descent and the bottom
+        // layer (for SQ8 this is where the expanded query form is built).
+        let store = self.store.as_ref();
+        store.prepare_query(&self.metric, query, &mut ctx.query_scratch);
         // Greedy descent through the upper layers (one distance per examined
         // neighbor, counted into the stats), on the frozen CSR levels.
         let mut ep = self.entry_point;
@@ -346,12 +390,12 @@ impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
         while lc > 0 {
             let layer = &self.frozen[lc];
             let mut current = ep;
-            let mut current_dist = self.metric.distance(query, self.base.get(current as usize));
+            let mut current_dist = store.dist_to(&self.metric, &ctx.query_scratch, current as usize);
             ctx.stats.distance_computations += 1;
             loop {
                 let mut improved = false;
                 for &u in layer.neighbors(current) {
-                    let d = self.metric.distance(query, self.base.get(u as usize));
+                    let d = store.dist_to(&self.metric, &ctx.query_scratch, u as usize);
                     ctx.stats.distance_computations += 1;
                     if d < current_dist {
                         current_dist = d;
@@ -368,11 +412,17 @@ impl<D: Distance + Sync> AnnIndex for HnswIndex<D> {
             lc -= 1;
         }
         // Bottom-layer `ef` search inside the context scratch, on the frozen
-        // level-0 CSR.
-        let ef = request.quality.effort.max(request.k).max(1);
-        let (visited, pool, stats) = (&mut ctx.visited, &mut ctx.pool, &mut ctx.stats);
-        self.search_layer_scratch(&self.frozen[0], query, &[ep], ef, visited, pool, stats);
-        ctx.pool.top_k_into(request.k, &mut ctx.results);
+        // level-0 CSR; a two-phase request keeps `r · k` candidates for the
+        // exact-rerank pass over the retained rows.
+        let keep = request.rerank_candidates();
+        let ef = request.quality.effort.max(keep).max(1);
+        let (scratch, visited, pool, stats) =
+            (&ctx.query_scratch, &mut ctx.visited, &mut ctx.pool, &mut ctx.stats);
+        self.search_layer_scratch(&self.frozen[0], scratch, &[ep], ef, visited, pool, stats);
+        ctx.pool.top_k_into(keep, &mut ctx.results);
+        if request.rerank_factor() > 1 {
+            exact_rerank(ctx, &self.base, &self.metric, query, request.k);
+        }
         &ctx.results
     }
 
@@ -466,6 +516,36 @@ mod tests {
         let g0 = index.bottom_layer_graph();
         assert!(index.memory_bytes() >= g0.memory_bytes_fixed_degree() / 2);
         assert_eq!(index.name(), "HNSW");
+    }
+
+    #[test]
+    fn quantized_hnsw_with_rerank_matches_flat_precision() {
+        let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 20, 91);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let flat = HnswIndex::build(Arc::clone(&base), SquaredEuclidean, HnswParams::default());
+        let request = SearchRequest::new(10).with_effort(150);
+        let flat_results: Vec<Vec<u32>> = flat
+            .search_batch(&queries, &request)
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
+            .collect();
+        let flat_p = mean_precision(&flat_results, &gt, 10);
+
+        let quantized = flat.quantize_sq8();
+        assert!(quantized.num_layers() >= 1);
+        let results: Vec<Vec<u32>>= quantized
+            .search_batch(&queries, &request.with_rerank(4))
+            .iter()
+            .map(|r| nsg_core::neighbor::ids(r))
+            .collect();
+        let p = mean_precision(&results, &gt, 10);
+        assert!(p >= flat_p * 0.99, "quantized HNSW precision {p} below 99% of flat {flat_p}");
+        // The whole search path (descent + bottom layer) runs on the store,
+        // and the rerank reports exact distances.
+        let hit = quantized.search(base.get(9), &request.with_rerank(2));
+        assert_eq!(hit[0].id, 9);
+        assert_eq!(hit[0].dist, 0.0);
     }
 
     #[test]

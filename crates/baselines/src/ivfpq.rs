@@ -24,6 +24,7 @@ use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use nsg_core::search::SearchStats;
 use nsg_vectors::distance::{squared_l2, Distance};
+use nsg_vectors::quant::adc_accumulate;
 use nsg_vectors::VectorSet;
 use std::sync::Arc;
 
@@ -174,23 +175,32 @@ impl<D: Distance> IvfPq<D> {
         let probes = self.coarse.assign_top(query, nprobe);
         let mut scored: Vec<Neighbor> = Vec::new();
         let num_sub = self.codebooks.len();
+        // Per-list lookup tables of the query residual against every codeword
+        // of every sub-space, in the flat row-major layout the shared ADC
+        // kernel (`nsg_vectors::quant::adc_accumulate`) consumes: `width`
+        // entries per sub-space, one contiguous `f32` block per probed list.
+        let width = self.params.codebook_size;
+        let mut tables: Vec<f32> = Vec::with_capacity(num_sub * width);
         for list_id in probes {
-            // Per-list lookup tables of the query residual against every
-            // codeword of every sub-space.
             let centroid = self.coarse.centroids().get(list_id);
             let residual: Vec<f32> = query.iter().zip(centroid).map(|(x, y)| x - y).collect();
-            let mut tables: Vec<Vec<f32>> = Vec::with_capacity(num_sub);
+            tables.clear();
             for s in 0..num_sub {
                 let lo = self.splits[s];
                 let hi = self.splits[s + 1];
                 let cb = self.codebooks[s].centroids();
-                tables.push((0..cb.len()).map(|c| squared_l2(&residual[lo..hi], cb.get(c))).collect());
+                tables.extend((0..width).map(|c| {
+                    if c < cb.len() {
+                        squared_l2(&residual[lo..hi], cb.get(c))
+                    } else {
+                        // Padding for codebooks k-means shrank below the
+                        // configured size; no stored code references them.
+                        f32::INFINITY
+                    }
+                }));
             }
             for posted in &self.lists[list_id] {
-                let mut d = 0.0f32;
-                for (s, &code) in posted.code.iter().enumerate() {
-                    d += tables[s][code as usize];
-                }
+                let d = adc_accumulate(&tables, width, &posted.code);
                 cost += 1;
                 scanned += 1;
                 scored.push(Neighbor::new(posted.id, d));

@@ -10,10 +10,12 @@ use nsg_core::context::SearchContext;
 use nsg_core::graph::CompactGraph;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
-use nsg_core::search::search_from_context_entries;
+use nsg_core::search::{exact_rerank, search_from_context_entries};
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::quant::Sq8VectorSet;
 use nsg_vectors::sample::query_salt;
+use nsg_vectors::store::VectorStore;
 use nsg_vectors::VectorSet;
 use std::sync::Arc;
 
@@ -47,8 +49,14 @@ impl Default for KGraphParams {
 
 /// The KGraph index: a kNN graph (frozen into the contiguous CSR layout)
 /// plus the base vectors.
-pub struct KGraphIndex<D> {
+///
+/// Generic over the traversal [`VectorStore`] like [`NsgIndex`](nsg_core::nsg::NsgIndex):
+/// built on `f32` rows, optionally re-frozen onto SQ8 codes with
+/// [`quantize_sq8`](Self::quantize_sq8); two-phase requests
+/// ([`SearchRequest::with_rerank`]) rescore against the retained rows.
+pub struct KGraphIndex<D, S: VectorStore = VectorSet> {
     base: Arc<VectorSet>,
+    store: Arc<S>,
     metric: D,
     graph: CompactGraph,
     params: KGraphParams,
@@ -67,6 +75,7 @@ impl<D: Distance + Sync> KGraphIndex<D> {
         assert_eq!(knn.len(), base.len(), "kNN graph does not match the base set");
         let adjacency: Vec<Vec<u32>> = (0..knn.len() as u32).map(|v| knn.neighbor_ids(v).collect()).collect();
         Self {
+            store: Arc::clone(&base),
             base,
             metric,
             graph: CompactGraph::from_adjacency(adjacency),
@@ -74,13 +83,27 @@ impl<D: Distance + Sync> KGraphIndex<D> {
         }
     }
 
+    /// Re-freezes the traversal onto SQ8 scalar-quantized codes (the kNN
+    /// graph and retained `f32` rows are untouched).
+    pub fn quantize_sq8(self) -> KGraphIndex<D, Sq8VectorSet> {
+        KGraphIndex {
+            store: Arc::new(Sq8VectorSet::encode(&self.base)),
+            base: self.base,
+            metric: self.metric,
+            graph: self.graph,
+            params: self.params,
+        }
+    }
+}
+
+impl<D: Distance + Sync, S: VectorStore> KGraphIndex<D, S> {
     /// The underlying frozen graph (for Table 2 / Table 4 statistics).
     pub fn graph(&self) -> &CompactGraph {
         &self.graph
     }
 }
 
-impl<D: Distance + Sync> AnnIndex for KGraphIndex<D> {
+impl<D: Distance + Sync, S: VectorStore> AnnIndex for KGraphIndex<D, S> {
     fn new_context(&self) -> SearchContext {
         SearchContext::for_points(self.base.len())
     }
@@ -91,7 +114,7 @@ impl<D: Distance + Sync> AnnIndex for KGraphIndex<D> {
         request: &SearchRequest,
         query: &[f32],
     ) -> &'a [Neighbor] {
-        let params = request.params();
+        let params = request.traversal_params();
         // Pool-filling random initialization (deterministic per query content).
         ctx.fill_random_entries(
             self.base.len(),
@@ -99,7 +122,11 @@ impl<D: Distance + Sync> AnnIndex for KGraphIndex<D> {
             self.params.seed,
             query_salt(query) ^ params.pool_size as u64,
         );
-        search_from_context_entries(&self.graph, &self.base, query, params, &self.metric, ctx)
+        search_from_context_entries(&self.graph, self.store.as_ref(), query, params, &self.metric, ctx);
+        if request.rerank_factor() > 1 {
+            exact_rerank(ctx, &self.base, &self.metric, query, request.k);
+        }
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -162,6 +189,30 @@ mod tests {
             }
         }
         assert!(hits >= 10, "only {hits}/12 self-queries found");
+    }
+
+    #[test]
+    fn quantized_kgraph_with_rerank_matches_flat_precision() {
+        let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 20, 31);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let flat = KGraphIndex::build(Arc::clone(&base), SquaredEuclidean, KGraphParams::default());
+        let request = SearchRequest::new(10).with_effort(200);
+        let flat_results: Vec<Vec<u32>> = flat
+            .search_batch(&queries, &request)
+            .iter()
+            .map(|r| neighbor::ids(r))
+            .collect();
+        let flat_p = mean_precision(&flat_results, &gt, 10);
+
+        let quantized = flat.quantize_sq8();
+        let results: Vec<Vec<u32>> = quantized
+            .search_batch(&queries, &request.with_rerank(4))
+            .iter()
+            .map(|r| neighbor::ids(r))
+            .collect();
+        let p = mean_precision(&results, &gt, 10);
+        assert!(p >= flat_p * 0.99, "quantized KGraph precision {p} below 99% of flat {flat_p}");
     }
 
     #[test]

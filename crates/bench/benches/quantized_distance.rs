@@ -1,0 +1,133 @@
+//! Flat `f32` versus SQ8 quantized kernels, at both altitudes the refactor
+//! touches.
+//!
+//! * `kernel/*` — the raw distance kernels over one vector pair: `squared_l2`
+//!   streaming 512 bytes per call versus `sq8_asym_l2` streaming 128 code
+//!   bytes (plus the shared scale vector, resident after the first call).
+//! * `traversal/*` — the *same* generic `search_on_graph_into` over the
+//!   *same* frozen NSG and the *same* reused context, with only the
+//!   [`VectorStore`] backend differing — the identical loop-shape discipline
+//!   the `csr_traversal` bench uses, so the delta isolates vector bandwidth
+//!   exactly as that bench isolates adjacency layout. The `sq8_rerank` rows
+//!   add the two-phase exact-rerank tail (`r = 4`) on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_core::context::SearchContext;
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::nsg::{NsgIndex, NsgParams};
+use nsg_core::search::{search_on_graph_into, SearchParams};
+use nsg_knn::NnDescentParams;
+use nsg_vectors::distance::{squared_l2, SquaredEuclidean};
+use nsg_vectors::quant::{sq8_asym_l2, Sq8VectorSet};
+use nsg_vectors::store::{QueryScratch, VectorStore};
+use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_kernels(c: &mut Criterion) {
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 2048, 16, 31);
+    let store = Sq8VectorSet::encode(&base);
+    let mut scratch = QueryScratch::new();
+    store.prepare_query(&SquaredEuclidean, queries.get(0), &mut scratch);
+    let q = queries.get(0);
+
+    let mut group = c.benchmark_group("quantized_distance/kernel");
+    group.bench_function("f32_squared_l2", |bench| {
+        let mut i = 0;
+        bench.iter(|| {
+            i = (i + 1) % base.len();
+            black_box(squared_l2(black_box(q), black_box(base.get(i))))
+        })
+    });
+    group.bench_function("sq8_asym_l2", |bench| {
+        let mut i = 0;
+        bench.iter(|| {
+            i = (i + 1) % store.len();
+            black_box(sq8_asym_l2(
+                black_box(scratch.prepared()),
+                black_box(store.scales()),
+                black_box(store.code(i)),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 3000, 16, 77);
+    let base = Arc::new(base);
+    let nsg = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 60,
+            max_degree: 30,
+            knn: NnDescentParams { k: 40, ..Default::default() },
+            reverse_insert: true,
+            seed: 3,
+        },
+    );
+    let graph = nsg.graph().clone();
+    let nav = nsg.navigating_node();
+    let quantized = nsg.quantize_sq8();
+    let store = Arc::clone(quantized.store());
+
+    let mut group = c.benchmark_group("quantized_distance/traversal");
+    for &pool in &[50usize, 100] {
+        group.bench_with_input(BenchmarkId::new("f32", pool), &pool, |bench, &pool| {
+            let mut ctx = SearchContext::for_points(base.len());
+            let mut qi = 0;
+            bench.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(
+                    search_on_graph_into(
+                        &graph,
+                        base.as_ref(),
+                        queries.get(qi),
+                        &[nav],
+                        SearchParams::new(pool, 10),
+                        &SquaredEuclidean,
+                        &mut ctx,
+                    )
+                    .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sq8", pool), &pool, |bench, &pool| {
+            let mut ctx = SearchContext::for_points(base.len());
+            let mut qi = 0;
+            bench.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(
+                    search_on_graph_into(
+                        &graph,
+                        store.as_ref(),
+                        queries.get(qi),
+                        &[nav],
+                        SearchParams::new(pool, 10),
+                        &SquaredEuclidean,
+                        &mut ctx,
+                    )
+                    .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sq8_rerank", pool), &pool, |bench, &pool| {
+            let mut ctx = quantized.new_context();
+            let request = SearchRequest::new(10).with_effort(pool).with_rerank(4);
+            let mut qi = 0;
+            bench.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(quantized.search_into(&mut ctx, &request, queries.get(qi)).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels, bench_traversal
+}
+criterion_main!(benches);

@@ -22,6 +22,7 @@
 use crate::neighbor::{CandidatePool, Neighbor};
 use crate::search::{SearchStats, VisitedSet};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::store::QueryScratch;
 use nsg_vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +44,11 @@ pub struct SearchContext {
     pub entries: Vec<u32>,
     /// Scored-candidate scratch for rerank / merge style indices.
     pub scored: Vec<Neighbor>,
+    /// Prepared-query scratch of the [`VectorStore`](nsg_vectors::store::VectorStore)
+    /// protocol: the search loop prepares the query here once per search, so
+    /// quantized stores get their expanded query form without a per-query
+    /// allocation.
+    pub query_scratch: QueryScratch,
     /// Instrumentation of the last search.
     pub stats: SearchStats,
 }
@@ -62,6 +68,7 @@ impl SearchContext {
             results: Vec::new(),
             entries: Vec::new(),
             scored: Vec::new(),
+            query_scratch: QueryScratch::new(),
             stats: SearchStats::default(),
         }
     }

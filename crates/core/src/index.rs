@@ -62,6 +62,17 @@ pub struct SearchRequest {
     pub k: usize,
     /// Search effort (pool size / probes / checks).
     pub quality: SearchQuality,
+    /// Exact-rerank factor `r` of the two-phase (quantized-traverse →
+    /// exact-rerank) search: the traversal phase keeps `r · k` candidates,
+    /// which are then rescored with exact `f32` distances and truncated to
+    /// `k`. `0` and `1` both mean single-phase (no rerank). Supported by the
+    /// store-generic indices (`NsgIndex`, `ShardedNsg`, `KGraphIndex`,
+    /// `HnswIndex`) — meaningful when their traversal store is quantized,
+    /// harmless (already-exact distances are rescored) when flat. The
+    /// remaining baselines are single-phase by construction and ignore the
+    /// knob.
+    #[serde(default)]
+    pub rerank: usize,
     /// Whether the caller will read [`SearchContext::stats`] after
     /// `search_into`. Stats are guaranteed valid when this is `true`; every
     /// current index fills the counters unconditionally because they are
@@ -77,6 +88,7 @@ impl SearchRequest {
         Self {
             k,
             quality: SearchQuality::default(),
+            rerank: 0,
             collect_stats: false,
         }
     }
@@ -99,12 +111,40 @@ impl SearchRequest {
         self
     }
 
+    /// Enables two-phase search: traverse keeping `factor · k` candidates,
+    /// then exact-rerank them down to `k` (see [`rerank`](Self::rerank)).
+    pub fn with_rerank(mut self, factor: usize) -> Self {
+        self.rerank = factor;
+        self
+    }
+
+    /// The effective rerank factor (`max(rerank, 1)`).
+    pub fn rerank_factor(&self) -> usize {
+        self.rerank.max(1)
+    }
+
+    /// Number of candidates the traversal phase must retain:
+    /// `rerank_factor() · k`.
+    pub fn rerank_candidates(&self) -> usize {
+        self.k.saturating_mul(self.rerank_factor())
+    }
+
     /// Derives the Algorithm 1 parameters from this request — the **single**
     /// place the effort knob becomes a candidate pool size (`pool_size =
     /// effort`, clamped to at least `k`). Graph indices must use this instead
     /// of hand-building [`SearchParams`] on the query path.
     pub fn params(&self) -> SearchParams {
         SearchParams::new(self.quality.effort, self.k)
+    }
+
+    /// The traversal-phase parameters of a two-phase search: same effort
+    /// knob, but the traversal keeps [`rerank_candidates`](Self::rerank_candidates)
+    /// results so the exact-rerank phase
+    /// ([`exact_rerank`](crate::search::exact_rerank)) has `r · k` candidates
+    /// to rescore. Identical to [`params`](Self::params) when no rerank is
+    /// requested, so rerank-capable indices call this unconditionally.
+    pub fn traversal_params(&self) -> SearchParams {
+        SearchParams::new(self.quality.effort, self.rerank_candidates())
     }
 }
 
@@ -248,6 +288,28 @@ mod tests {
         assert_eq!(r.params().pool_size, 10);
         let p: SearchParams = (&SearchRequest::new(2).with_effort(50)).into();
         assert_eq!(p, SearchParams { pool_size: 50, k: 2 });
+    }
+
+    #[test]
+    fn rerank_knob_scales_the_traversal_phase_only() {
+        let r = SearchRequest::new(10).with_effort(100);
+        assert_eq!(r.rerank_factor(), 1);
+        assert_eq!(r.rerank_candidates(), 10);
+        assert_eq!(r.traversal_params(), r.params(), "no rerank: phases coincide");
+
+        let two_phase = r.with_rerank(4);
+        assert_eq!(two_phase.rerank_factor(), 4);
+        assert_eq!(two_phase.rerank_candidates(), 40);
+        assert_eq!(two_phase.traversal_params(), SearchParams::new(100, 40));
+        // params() stays the single-phase translation.
+        assert_eq!(two_phase.params(), SearchParams::new(100, 10));
+        // The pool is clamped up when r·k exceeds the effort.
+        assert_eq!(
+            SearchRequest::new(20).with_effort(10).with_rerank(3).traversal_params().pool_size,
+            60
+        );
+        // Factor 0 behaves like factor 1 (single-phase).
+        assert_eq!(r.with_rerank(0).rerank_candidates(), 10);
     }
 
     #[test]

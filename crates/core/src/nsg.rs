@@ -23,9 +23,11 @@ use crate::graph::{CompactGraph, DirectedGraph};
 use crate::index::{AnnIndex, SearchRequest};
 use crate::mrng::mrng_select;
 use crate::neighbor::Neighbor;
-use crate::search::{search_collect, search_on_graph, search_on_graph_into, SearchParams};
+use crate::search::{exact_rerank, search_collect, search_on_graph, search_on_graph_into, SearchParams};
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::quant::Sq8VectorSet;
+use nsg_vectors::store::VectorStore;
 use nsg_vectors::VectorSet;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -72,8 +74,20 @@ impl Default for NsgParams {
 
 /// A built NSG index: the pruned graph, its navigating node, and the base
 /// vectors it indexes.
-pub struct NsgIndex<D> {
+///
+/// Generic over the traversal [`VectorStore`] `S`, mirroring the
+/// [`DirectedGraph::freeze`] pattern one layer down: construction always
+/// runs on exact `f32` rows (`S = VectorSet`, where the store *is* the base
+/// set — same `Arc`, no duplication), and [`quantize_sq8`](Self::quantize_sq8)
+/// optionally re-freezes the finished index onto SQ8 codes for the
+/// memory-constrained serving scenario. The `f32` rows are retained either
+/// way: they are the substrate of the exact-rerank phase of two-phase search
+/// ([`SearchRequest::with_rerank`]).
+pub struct NsgIndex<D, S: VectorStore = VectorSet> {
     base: Arc<VectorSet>,
+    /// The store Algorithm 1 traverses; shares the `base` allocation in the
+    /// flat case, holds the SQ8 codes in the quantized one.
+    store: Arc<S>,
     metric: D,
     /// The pruned graph, frozen into the contiguous CSR layout once
     /// Algorithm 2 finishes — every query hop reads one dense neighbor run.
@@ -81,6 +95,11 @@ pub struct NsgIndex<D> {
     navigating_node: u32,
     params: NsgParams,
 }
+
+/// An NSG whose traversal runs on SQ8 scalar-quantized codes (4× less vector
+/// bandwidth); pair with [`SearchRequest::with_rerank`] to recover `f32`
+/// accuracy from the retained exact rows.
+pub type QuantizedNsg<D> = NsgIndex<D, Sq8VectorSet>;
 
 impl<D: Distance + Sync> NsgIndex<D> {
     /// Builds an NSG over `base`, constructing the intermediate kNN graph with
@@ -99,6 +118,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let n = base.len();
         if n == 0 {
             return Self {
+                store: Arc::clone(&base),
                 base,
                 metric,
                 graph: CompactGraph::empty(),
@@ -108,6 +128,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         }
         if n == 1 {
             return Self {
+                store: Arc::clone(&base),
                 base,
                 metric,
                 graph: DirectedGraph::new(1).freeze(),
@@ -223,11 +244,29 @@ impl<D: Distance + Sync> NsgIndex<D> {
         // Construction is done: freeze the mutable adjacency into the
         // contiguous query-time layout.
         Self {
+            store: Arc::clone(&base),
             base,
             metric,
             graph: graph.freeze(),
             navigating_node,
             params,
+        }
+    }
+
+    /// Re-freezes the finished index onto SQ8 scalar-quantized codes: the
+    /// graph, navigating node and retained `f32` rows are untouched, only
+    /// the traversal store changes — the vector-side analogue of
+    /// [`DirectedGraph::freeze`]. Use [`SearchRequest::with_rerank`] to
+    /// rescore the quantized candidates against the retained rows.
+    pub fn quantize_sq8(self) -> QuantizedNsg<D> {
+        let store = Arc::new(Sq8VectorSet::encode(&self.base));
+        NsgIndex {
+            base: self.base,
+            store,
+            metric: self.metric,
+            graph: self.graph,
+            navigating_node: self.navigating_node,
+            params: self.params,
         }
     }
 
@@ -289,6 +328,20 @@ impl<D: Distance + Sync> NsgIndex<D> {
         }
     }
 
+    /// Reassembles an index from its serialized parts (see
+    /// [`crate::serialize`]); the traversal store is the base set itself.
+    pub fn from_parts(
+        base: Arc<VectorSet>,
+        metric: D,
+        graph: CompactGraph,
+        navigating_node: u32,
+        params: NsgParams,
+    ) -> Self {
+        Self::from_store_parts(Arc::clone(&base), base, metric, graph, navigating_node, params)
+    }
+}
+
+impl<D: Distance + Sync, S: VectorStore> NsgIndex<D, S> {
     /// The pruned NSG adjacency in its frozen query-time (CSR) form.
     pub fn graph(&self) -> &CompactGraph {
         &self.graph
@@ -299,9 +352,16 @@ impl<D: Distance + Sync> NsgIndex<D> {
         self.navigating_node
     }
 
-    /// The base vectors the index was built over.
+    /// The base vectors the index was built over (the retained `f32` rows
+    /// the exact-rerank phase rescores against).
     pub fn base(&self) -> &Arc<VectorSet> {
         &self.base
+    }
+
+    /// The store Algorithm 1 traverses (the base set itself for a flat
+    /// index, the SQ8 codes for a quantized one).
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
     }
 
     /// The parameters used at construction time.
@@ -314,9 +374,15 @@ impl<D: Distance + Sync> NsgIndex<D> {
         &self.metric
     }
 
-    /// Reassembles an index from its serialized parts (see
+    /// Reassembles an index from its serialized parts together with an
+    /// explicit traversal store (the quantized-deserialization path; see
     /// [`crate::serialize`]).
-    pub fn from_parts(
+    ///
+    /// # Panics
+    /// Panics if the graph, store and base set disagree on the node count,
+    /// or the navigating node is out of range.
+    pub fn from_store_parts(
+        store: Arc<S>,
         base: Arc<VectorSet>,
         metric: D,
         graph: CompactGraph,
@@ -324,12 +390,14 @@ impl<D: Distance + Sync> NsgIndex<D> {
         params: NsgParams,
     ) -> Self {
         assert_eq!(graph.num_nodes(), base.len(), "graph does not match the base set");
+        assert_eq!(store.len(), base.len(), "store does not match the base set");
         assert!(
             base.is_empty() || (navigating_node as usize) < base.len(),
             "navigating node out of range"
         );
         Self {
             base,
+            store,
             metric,
             graph,
             navigating_node,
@@ -338,7 +406,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
     }
 }
 
-impl<D: Distance + Sync> AnnIndex for NsgIndex<D> {
+impl<D: Distance + Sync, S: VectorStore> AnnIndex for NsgIndex<D, S> {
     fn new_context(&self) -> SearchContext {
         SearchContext::for_points(self.base.len())
     }
@@ -351,13 +419,17 @@ impl<D: Distance + Sync> AnnIndex for NsgIndex<D> {
     ) -> &'a [Neighbor] {
         search_on_graph_into(
             &self.graph,
-            &self.base,
+            self.store.as_ref(),
             query,
             &[self.navigating_node],
-            request.params(),
+            request.traversal_params(),
             &self.metric,
             ctx,
-        )
+        );
+        if request.rerank_factor() > 1 {
+            exact_rerank(ctx, &self.base, &self.metric, query, request.k);
+        }
+        &ctx.results
     }
 
     fn memory_bytes(&self) -> usize {
@@ -530,6 +602,74 @@ mod tests {
             .to_vec();
         assert_eq!(fast, res.neighbors);
         assert_eq!(ctx.stats(), res.stats);
+    }
+
+    #[test]
+    fn quantized_index_preserves_graph_and_recovers_f32_answers_with_rerank() {
+        let (base, queries) =
+            nsg_vectors::synthetic::base_and_queries(nsg_vectors::synthetic::SyntheticKind::SiftLike, 2000, 30, 5);
+        let base = Arc::new(base);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let flat = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params());
+        let flat_results = batch_ids(&flat, &queries, &SearchRequest::new(10).with_effort(120));
+        let flat_precision = mean_precision(&flat_results, &gt, 10);
+
+        let quantized = flat.quantize_sq8();
+        // The graph, entry point and retained rows are untouched by the
+        // re-freeze; only the traversal store changed.
+        assert_eq!(quantized.base().len(), base.len());
+        assert_eq!(quantized.store().len(), base.len());
+        assert!(
+            quantized.store().as_ref().memory_bytes() * 100 <= base.memory_bytes() * 30,
+            "SQ8 store must be ≤ 30% of the flat vector bytes"
+        );
+
+        // Two-phase search with a generous rerank factor recovers the f32
+        // quality on clustered data.
+        let request = SearchRequest::new(10).with_effort(120).with_rerank(4);
+        let two_phase = batch_ids(&quantized, &queries, &request);
+        let two_phase_precision = mean_precision(&two_phase, &gt, 10);
+        assert!(
+            two_phase_precision >= flat_precision * 0.99,
+            "two-phase precision {two_phase_precision} fell below 99% of f32 precision {flat_precision}"
+        );
+        // Rerank distances are exact: the self-distance of a base query is 0.
+        let hit = quantized.search(base.get(7), &request);
+        assert_eq!(hit[0].id, 7);
+        assert_eq!(hit[0].dist, 0.0, "reranked distances must be exact f32 distances");
+    }
+
+    #[test]
+    fn quantized_search_without_rerank_returns_approximate_distances() {
+        let base = Arc::new(uniform(800, 16, 9));
+        let quantized = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params()).quantize_sq8();
+        let mut ctx = quantized.new_context();
+        // Factor 1 = single-phase: distances come from the quantized store.
+        let got = quantized
+            .search_into(&mut ctx, &SearchRequest::new(5).with_effort(60), base.get(3))
+            .to_vec();
+        assert_eq!(got.len(), 5);
+        // The quantized self-distance is near but not necessarily exactly 0;
+        // it must still win the ranking.
+        assert_eq!(got[0].id, 3);
+        assert!(got[0].dist >= 0.0);
+    }
+
+    #[test]
+    fn from_store_parts_rebuilds_a_quantized_index() {
+        let base = Arc::new(uniform(500, 8, 15));
+        let built = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, small_params()).quantize_sq8();
+        let request = SearchRequest::new(5).with_effort(60).with_rerank(2);
+        let expect = built.search(base.get(11), &request);
+        let rebuilt = NsgIndex::from_store_parts(
+            Arc::clone(built.store()),
+            Arc::clone(built.base()),
+            SquaredEuclidean,
+            built.graph().clone(),
+            built.navigating_node(),
+            *built.params(),
+        );
+        assert_eq!(rebuilt.search(base.get(11), &request), expect);
     }
 
     #[test]

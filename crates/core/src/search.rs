@@ -23,6 +23,7 @@ use crate::context::SearchContext;
 use crate::graph::GraphView;
 use crate::neighbor::Neighbor;
 use nsg_vectors::distance::Distance;
+use nsg_vectors::store::VectorStore;
 use nsg_vectors::VectorSet;
 
 /// Parameters of Algorithm 1 (the raw `(l, k)` pair).
@@ -161,14 +162,18 @@ impl VisitedSet {
 /// The Algorithm 1 main loop, running entirely inside `ctx`'s buffers.
 /// Optionally records every evaluated `(node, distance)` pair into `collect`.
 ///
-/// Generic over [`GraphView`]: query paths hand in the frozen
-/// [`CompactGraph`](crate::graph::CompactGraph) (contiguous CSR neighbor
-/// runs), construction-time searches the mutable
-/// [`DirectedGraph`](crate::graph::DirectedGraph) they are still editing.
+/// Generic over [`GraphView`] (query paths hand in the frozen
+/// [`CompactGraph`](crate::graph::CompactGraph) with contiguous CSR neighbor
+/// runs, construction-time searches the mutable
+/// [`DirectedGraph`](crate::graph::DirectedGraph) they are still editing)
+/// **and** over [`VectorStore`]: the flat `f32` [`VectorSet`] monomorphizes
+/// to the exact `metric.distance` loop it always was, the SQ8 store to the
+/// asymmetric quantized kernel — the query is prepared into
+/// `ctx.query_scratch` once, then every candidate pays one `dist_to`.
 #[allow(clippy::too_many_arguments)] // private plumbing shared by the public search variants
-fn run_search<G: GraphView + ?Sized, D: Distance + ?Sized>(
+fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Sized>(
     graph: &G,
-    base: &VectorSet,
+    store: &S,
     query: &[f32],
     start_nodes: &[u32],
     params: SearchParams,
@@ -176,14 +181,15 @@ fn run_search<G: GraphView + ?Sized, D: Distance + ?Sized>(
     ctx: &mut SearchContext,
     mut collect: Option<&mut Vec<Neighbor>>,
 ) {
-    ctx.visited.ensure_capacity(base.len());
+    ctx.visited.ensure_capacity(store.len());
     ctx.visited.next_epoch();
     ctx.pool.reset(params.pool_size);
     ctx.stats = SearchStats::default();
+    store.prepare_query(metric, query, &mut ctx.query_scratch);
 
-    for s in nsg_vectors::prefetch::lookahead_ids(start_nodes, base) {
-        if (s as usize) < base.len() && ctx.visited.insert(s) {
-            let d = metric.distance(query, base.get(s as usize));
+    for s in nsg_vectors::prefetch::lookahead_ids(start_nodes, store) {
+        if (s as usize) < store.len() && ctx.visited.insert(s) {
+            let d = store.dist_to(metric, &ctx.query_scratch, s as usize);
             ctx.stats.distance_computations += 1;
             ctx.stats.visited += 1;
             if let Some(out) = collect.as_deref_mut() {
@@ -198,14 +204,14 @@ fn run_search<G: GraphView + ?Sized, D: Distance + ?Sized>(
     while let Some(idx) = ctx.pool.first_unchecked() {
         let current = ctx.pool.mark_checked(idx);
         ctx.stats.hops += 1;
-        // Hop-expansion gather: while the metric scores candidate `n`, the
-        // next candidate's base vector is already being pulled into cache —
+        // Hop-expansion gather: while the store scores candidate `n`, the
+        // next candidate's stored vector is already being pulled into cache —
         // the prefetch discipline the released NSG/HNSW search loops use.
-        for n in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), base) {
+        for n in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), store) {
             if !ctx.visited.insert(n) {
                 continue;
             }
-            let d = metric.distance(query, base.get(n as usize));
+            let d = store.dist_to(metric, &ctx.query_scratch, n as usize);
             ctx.stats.distance_computations += 1;
             ctx.stats.visited += 1;
             if let Some(out) = collect.as_deref_mut() {
@@ -219,6 +225,32 @@ fn run_search<G: GraphView + ?Sized, D: Distance + ?Sized>(
     ctx.pool.top_k_into(params.k, &mut ctx.results);
 }
 
+/// The second phase of a two-phase (quantized-traverse → exact-rerank)
+/// search: rescores every candidate currently in `ctx.results` with the
+/// exact metric against the retained `f32` rows, re-sorts, and truncates to
+/// `k`. Runs entirely in place on the context's result buffer, so the warm
+/// path allocates nothing; the exact evaluations are added to
+/// `ctx.stats.distance_computations`.
+///
+/// Call after a traversal that requested `rerank_factor · k` candidates
+/// (see [`SearchRequest::traversal_params`](crate::index::SearchRequest::traversal_params));
+/// a no-op-shaped pass over an already-exact result set is harmless, which
+/// is why the flat-store indices can share the same code path.
+pub fn exact_rerank<D: Distance + ?Sized>(
+    ctx: &mut SearchContext,
+    rows: &VectorSet,
+    metric: &D,
+    query: &[f32],
+    k: usize,
+) {
+    for nb in ctx.results.iter_mut() {
+        nb.dist = metric.distance(query, rows.get(nb.id as usize));
+    }
+    ctx.stats.distance_computations += ctx.results.len() as u64;
+    ctx.results.sort_unstable_by(Neighbor::ordering);
+    ctx.results.truncate(k);
+}
+
 /// Algorithm 1 on the context-reuse fast path: greedy best-first search on
 /// `graph` starting from `start_nodes`, writing the answer and stats into
 /// `ctx` and returning the top-k as a borrowed slice.
@@ -230,16 +262,16 @@ fn run_search<G: GraphView + ?Sized, D: Distance + ?Sized>(
 /// layer entry, or random nodes for KGraph/FANNG/DPG), but may contain many
 /// entries (Efanna seeds the pool from KD-tree leaves, the random-init
 /// methods fill the whole pool).
-pub fn search_on_graph_into<'a, G: GraphView + ?Sized, D: Distance + ?Sized>(
+pub fn search_on_graph_into<'a, G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Sized>(
     graph: &G,
-    base: &VectorSet,
+    store: &S,
     query: &[f32],
     start_nodes: &[u32],
     params: SearchParams,
     metric: &D,
     ctx: &'a mut SearchContext,
 ) -> &'a [Neighbor] {
-    run_search(graph, base, query, start_nodes, params, metric, ctx, None);
+    run_search(graph, store, query, start_nodes, params, metric, ctx, None);
     &ctx.results
 }
 
@@ -247,32 +279,32 @@ pub fn search_on_graph_into<'a, G: GraphView + ?Sized, D: Distance + ?Sized>(
 /// points previously placed in [`SearchContext::entries`] (e.g. by
 /// [`SearchContext::fill_random_entries`]), avoiding a per-query entry
 /// buffer allocation.
-pub fn search_from_context_entries<'a, G: GraphView + ?Sized, D: Distance + ?Sized>(
+pub fn search_from_context_entries<'a, G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Sized>(
     graph: &G,
-    base: &VectorSet,
+    store: &S,
     query: &[f32],
     params: SearchParams,
     metric: &D,
     ctx: &'a mut SearchContext,
 ) -> &'a [Neighbor] {
     let entries = std::mem::take(&mut ctx.entries);
-    run_search(graph, base, query, &entries, params, metric, ctx, None);
+    run_search(graph, store, query, &entries, params, metric, ctx, None);
     ctx.entries = entries;
     &ctx.results
 }
 
 /// Algorithm 1, allocating convenience: runs on a fresh context and returns
 /// an owned [`SearchResult`]. Prefer [`search_on_graph_into`] in loops.
-pub fn search_on_graph<G: GraphView + ?Sized, D: Distance + ?Sized>(
+pub fn search_on_graph<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Sized>(
     graph: &G,
-    base: &VectorSet,
+    store: &S,
     query: &[f32],
     start_nodes: &[u32],
     params: SearchParams,
     metric: &D,
 ) -> SearchResult {
-    let mut ctx = SearchContext::for_points(base.len());
-    run_search(graph, base, query, start_nodes, params, metric, &mut ctx, None);
+    let mut ctx = SearchContext::for_points(store.len());
+    run_search(graph, store, query, start_nodes, params, metric, &mut ctx, None);
     SearchResult {
         neighbors: std::mem::take(&mut ctx.results),
         stats: ctx.stats,
@@ -283,9 +315,9 @@ pub fn search_on_graph<G: GraphView + ?Sized, D: Distance + ?Sized>(
 /// returns every scored node whose distance to the query was computed along
 /// the way. These visited nodes are the candidate neighbors the NSG
 /// edge-selection prunes with the MRNG strategy.
-pub fn search_collect<G: GraphView + ?Sized, D: Distance + ?Sized>(
+pub fn search_collect<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Sized>(
     graph: &G,
-    base: &VectorSet,
+    store: &S,
     query: &[f32],
     start_nodes: &[u32],
     params: SearchParams,
@@ -293,7 +325,7 @@ pub fn search_collect<G: GraphView + ?Sized, D: Distance + ?Sized>(
     ctx: &mut SearchContext,
 ) -> (SearchResult, Vec<Neighbor>) {
     let mut collected = Vec::with_capacity(params.pool_size * 4);
-    run_search(graph, base, query, start_nodes, params, metric, ctx, Some(&mut collected));
+    run_search(graph, store, query, start_nodes, params, metric, ctx, Some(&mut collected));
     (
         SearchResult {
             neighbors: ctx.results.clone(),
@@ -557,6 +589,72 @@ mod tests {
             assert_eq!(a, b, "query {q} differs between nested and CSR adjacency");
             assert_eq!(stats_a, ctx_b.stats, "query {q} cost differs between layouts");
         }
+    }
+
+    #[test]
+    fn quantized_store_traversal_plus_exact_rerank_matches_flat_search() {
+        // The tentpole invariant one level down: Algorithm 1 over the SQ8
+        // store followed by exact rerank recovers the flat-store answer on
+        // well-separated data, and the rerank rescores with exact distances.
+        let base = nsg_vectors::synthetic::sift_like(600, 13);
+        let store = nsg_vectors::quant::Sq8VectorSet::encode(&base);
+        let mut g = DirectedGraph::new(base.len());
+        // kNN-ish random graph.
+        let mut state = 7u64;
+        for v in 0..base.len() as u32 {
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (state >> 33) as u32 % base.len() as u32;
+                if u != v {
+                    g.add_edge(v, u);
+                }
+            }
+        }
+        let frozen = CompactGraph::from(&g);
+        let mut ctx_flat = SearchContext::for_points(base.len());
+        let mut ctx_q = SearchContext::for_points(base.len());
+        let k = 5;
+        let mut agreements = 0;
+        for q in (0..base.len()).step_by(60) {
+            let query = base.get(q).to_vec();
+            let flat = search_on_graph_into(
+                &frozen,
+                &base,
+                &query,
+                &[0],
+                SearchParams::new(40, k),
+                &SquaredEuclidean,
+                &mut ctx_flat,
+            )
+            .to_vec();
+            // Quantized traversal keeps 4x candidates, exact rerank truncates.
+            search_on_graph_into(
+                &frozen,
+                &store,
+                &query,
+                &[0],
+                SearchParams::new(40, 4 * k),
+                &SquaredEuclidean,
+                &mut ctx_q,
+            );
+            let before = ctx_q.stats.distance_computations;
+            exact_rerank(&mut ctx_q, &base, &SquaredEuclidean, &query, k);
+            assert_eq!(
+                ctx_q.stats.distance_computations,
+                before + 4 * k as u64,
+                "rerank must charge one exact evaluation per candidate"
+            );
+            assert_eq!(ctx_q.results.len(), k);
+            assert!(ctx_q.results.windows(2).all(|w| w[0].dist <= w[1].dist));
+            // Reranked distances are exact f32 distances.
+            for nb in &ctx_q.results {
+                assert_eq!(nb.dist, SquaredEuclidean.distance(&query, base.get(nb.id as usize)));
+            }
+            if ctx_q.results == flat {
+                agreements += 1;
+            }
+        }
+        assert!(agreements >= 9, "only {agreements}/10 queries agreed with the flat search");
     }
 
     #[test]

@@ -19,12 +19,16 @@
 
 use crate::graph::{CompactGraph, GraphView};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nsg_vectors::quant::Sq8VectorSet;
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
 
 /// Magic number identifying the serialized format ("NSG1").
 const MAGIC: u32 = 0x4E53_4731;
+
+/// Magic number of the SQ8 quantized-store section ("NSQ8").
+const SQ8_MAGIC: u32 = 0x4E53_5138;
 
 /// Errors returned by the index (de)serialization routines.
 #[derive(Debug)]
@@ -103,6 +107,12 @@ pub fn graph_to_bytes<G: GraphView + ?Sized>(
 /// of `Vec` headers), and each node's neighbor run is appended straight to
 /// the CSR arena.
 pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(CompactGraph, u32), SerializeError> {
+    decode_graph(&mut bytes)
+}
+
+/// Streaming graph decode that advances `bytes` past the consumed section,
+/// so composite formats (graph section + SQ8 section) can parse in sequence.
+fn decode_graph(bytes: &mut &[u8]) -> Result<(CompactGraph, u32), SerializeError> {
     if bytes.remaining() < 12 {
         return Err(SerializeError::Corrupt("truncated header".into()));
     }
@@ -170,6 +180,143 @@ pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<(CompactGraph, u32), Serial
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     graph_from_bytes(&bytes)
+}
+
+/// Serializes an SQ8 quantized store: magic "NSQ8", `dim`, `n`, the per-dim
+/// `min` and `scale` arrays (`f32` little-endian), then the `n·dim` code
+/// arena. All counts are `u32`-checked like the graph format.
+pub fn sq8_to_bytes(store: &Sq8VectorSet) -> Result<Bytes, SerializeError> {
+    let dim = u32::try_from(store.dim())
+        .map_err(|_| SerializeError::TooLarge(format!("dimension {} exceeds u32", store.dim())))?;
+    let n = u32::try_from(store.len())
+        .map_err(|_| SerializeError::TooLarge(format!("{} vectors exceed u32", store.len())))?;
+    let mut buf = BytesMut::with_capacity(12 + store.dim() * 8 + store.as_codes().len());
+    buf.put_u32_le(SQ8_MAGIC);
+    buf.put_u32_le(dim);
+    buf.put_u32_le(n);
+    for &lo in store.mins() {
+        buf.put_f32_le(lo);
+    }
+    for &s in store.scales() {
+        buf.put_f32_le(s);
+    }
+    buf.put_slice(store.as_codes());
+    Ok(buf.freeze())
+}
+
+/// Deserializes an SQ8 store produced by [`sq8_to_bytes`].
+///
+/// Same hardening bar as the graph decode: every header count is validated
+/// against `bytes.remaining()` **before** any allocation, so a corrupt
+/// stream claiming `u32::MAX` vectors (a ~550 GB code arena) is rejected in
+/// O(1), and non-finite affine parameters are refused — a single NaN `scale`
+/// would silently poison every distance computed against the store.
+pub fn sq8_from_bytes(mut bytes: &[u8]) -> Result<Sq8VectorSet, SerializeError> {
+    decode_sq8(&mut bytes)
+}
+
+/// Streaming SQ8 decode that advances `bytes` past the consumed section.
+fn decode_sq8(bytes: &mut &[u8]) -> Result<Sq8VectorSet, SerializeError> {
+    if bytes.remaining() < 12 {
+        return Err(SerializeError::Corrupt("truncated SQ8 header".into()));
+    }
+    let magic = bytes.get_u32_le();
+    if magic != SQ8_MAGIC {
+        return Err(SerializeError::Corrupt(format!("bad SQ8 magic 0x{magic:08x}")));
+    }
+    let dim = bytes.get_u32_le() as usize;
+    let n = bytes.get_u32_le() as usize;
+    if dim == 0 {
+        return Err(SerializeError::Corrupt("SQ8 dimension is zero".into()));
+    }
+    // The affine parameters alone occupy 8 bytes per dimension; bounding the
+    // claimed dim by the bytes actually present caps both `Vec` reservations
+    // below at the input size.
+    if bytes.remaining() / 8 < dim {
+        return Err(SerializeError::Corrupt(format!(
+            "SQ8 header claims dimension {dim} but only {} bytes remain",
+            bytes.remaining()
+        )));
+    }
+    let mut min = Vec::with_capacity(dim);
+    for i in 0..dim {
+        let lo = bytes.get_f32_le();
+        if !lo.is_finite() {
+            return Err(SerializeError::Corrupt(format!("non-finite min at dimension {i}")));
+        }
+        min.push(lo);
+    }
+    let mut scale = Vec::with_capacity(dim);
+    for i in 0..dim {
+        let s = bytes.get_f32_le();
+        if !s.is_finite() || s < 0.0 {
+            return Err(SerializeError::Corrupt(format!("invalid scale {s} at dimension {i}")));
+        }
+        scale.push(s);
+    }
+    // Code arena: `n · dim` bytes, claimed count checked against the stream
+    // before the allocation (u64 math so the product cannot wrap).
+    let code_bytes = n as u64 * dim as u64;
+    if (bytes.remaining() as u64) < code_bytes {
+        return Err(SerializeError::Corrupt(format!(
+            "SQ8 header claims {n} vectors ({code_bytes} code bytes) but only {} bytes remain",
+            bytes.remaining()
+        )));
+    }
+    let code_bytes = code_bytes as usize;
+    let codes = bytes.chunk()[..code_bytes].to_vec();
+    bytes.advance(code_bytes);
+    Ok(Sq8VectorSet::from_parts(dim, min, scale, codes))
+}
+
+/// Serializes a quantized index: the graph section ([`graph_to_bytes`])
+/// followed by the SQ8 store section ([`sq8_to_bytes`]). Rejects a store
+/// whose vector count differs from the graph's node count — such a pair can
+/// never decode back into a consistent index (`Corrupt`, the same error
+/// class the decoder assigns this mismatch).
+pub fn quantized_index_to_bytes<G: GraphView + ?Sized>(
+    graph: &G,
+    navigating_node: u32,
+    store: &Sq8VectorSet,
+) -> Result<Bytes, SerializeError> {
+    if graph.num_nodes() != store.len() {
+        return Err(SerializeError::Corrupt(format!(
+            "graph has {} nodes but the store holds {} vectors",
+            graph.num_nodes(),
+            store.len()
+        )));
+    }
+    let graph_bytes = graph_to_bytes(graph, navigating_node)?;
+    let store_bytes = sq8_to_bytes(store)?;
+    let mut buf = BytesMut::with_capacity(graph_bytes.len() + store_bytes.len());
+    buf.put_slice(&graph_bytes);
+    buf.put_slice(&store_bytes);
+    Ok(buf.freeze())
+}
+
+/// Deserializes a quantized index written by [`quantized_index_to_bytes`]:
+/// both sections stream-decode with their bounded validation, then the pair
+/// is cross-checked (node count vs. vector count) and trailing garbage is
+/// rejected.
+pub fn quantized_index_from_bytes(
+    mut bytes: &[u8],
+) -> Result<(CompactGraph, u32, Sq8VectorSet), SerializeError> {
+    let (graph, navigating_node) = decode_graph(&mut bytes)?;
+    let store = decode_sq8(&mut bytes)?;
+    if store.len() != graph.num_nodes() {
+        return Err(SerializeError::Corrupt(format!(
+            "graph has {} nodes but the store holds {} vectors",
+            graph.num_nodes(),
+            store.len()
+        )));
+    }
+    if bytes.has_remaining() {
+        return Err(SerializeError::Corrupt(format!(
+            "{} trailing bytes after the SQ8 section",
+            bytes.remaining()
+        )));
+    }
+    Ok((graph, navigating_node, store))
 }
 
 #[cfg(test)]
@@ -303,6 +450,113 @@ mod tests {
         buf.put_u32_le(0); // degree 0
         assert!(matches!(
             graph_from_bytes(&buf.freeze()),
+            Err(SerializeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sq8_store_roundtrips_byte_exactly() {
+        let base = nsg_vectors::synthetic::uniform(40, 9, 3);
+        let store = Sq8VectorSet::encode(&base);
+        let bytes = sq8_to_bytes(&store).unwrap();
+        let back = sq8_from_bytes(&bytes).unwrap();
+        assert_eq!(back, store);
+        // Byte-exact: re-encoding the decoded store reproduces the stream.
+        assert_eq!(sq8_to_bytes(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn quantized_index_roundtrips_byte_exactly() {
+        let g = toy_graph();
+        let base = nsg_vectors::synthetic::uniform(g.num_nodes(), 6, 5);
+        let store = Sq8VectorSet::encode(&base);
+        let bytes = quantized_index_to_bytes(&g, 2, &store).unwrap();
+        let (graph, nav, back) = quantized_index_from_bytes(&bytes).unwrap();
+        assert_eq!(graph, g);
+        assert_eq!(nav, 2);
+        assert_eq!(back, store);
+        assert_eq!(quantized_index_to_bytes(&graph, nav, &back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn quantized_encode_rejects_mismatched_store() {
+        let g = toy_graph(); // 4 nodes
+        let base = nsg_vectors::synthetic::uniform(3, 4, 1);
+        let store = Sq8VectorSet::encode(&base);
+        assert!(matches!(
+            quantized_index_to_bytes(&g, 0, &store),
+            Err(SerializeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_sq8_vector_count_fails_fast_without_allocating() {
+        // Same regression bar as the graph header: a stream claiming
+        // u32::MAX vectors (a ~550 GB code arena at dim 128) must be
+        // rejected by comparing against the bytes actually present, before
+        // any allocation happens.
+        let base = nsg_vectors::synthetic::uniform(4, 8, 7);
+        let good = sq8_to_bytes(&Sq8VectorSet::encode(&base)).unwrap();
+        let mut bytes = good.to_vec();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes()); // overstate n
+        let err = sq8_from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, SerializeError::Corrupt(msg) if msg.contains("claims")),
+            "expected fast corrupt-count rejection, got {err:?}"
+        );
+        // Overstated dimension is bounded the same way.
+        let mut bytes = good.to_vec();
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(sq8_from_bytes(&bytes), Err(SerializeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn sq8_rejects_bad_magic_truncation_and_poisoned_parameters() {
+        let base = nsg_vectors::synthetic::uniform(6, 4, 9);
+        let good = sq8_to_bytes(&Sq8VectorSet::encode(&base)).unwrap();
+
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(sq8_from_bytes(&bad_magic), Err(SerializeError::Corrupt(_))));
+
+        for cut in [0, 7, 11, good.len() - 1] {
+            assert!(sq8_from_bytes(&good[..cut]).is_err(), "truncation at {cut} not detected");
+        }
+
+        // A NaN scale would silently poison every asymmetric distance; the
+        // decoder must refuse it (scale of dim 0 sits after the 12-byte
+        // header and the 4 min floats).
+        let mut poisoned = good.to_vec();
+        let scale0 = 12 + 4 * 4;
+        poisoned[scale0..scale0 + 4].copy_from_slice(&f32::NAN.to_bits().to_le_bytes());
+        assert!(matches!(sq8_from_bytes(&poisoned), Err(SerializeError::Corrupt(_))));
+
+        // Zero-dimension streams are structurally invalid.
+        let mut zero_dim = good.to_vec();
+        zero_dim[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(sq8_from_bytes(&zero_dim), Err(SerializeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn quantized_index_rejects_trailing_garbage_and_count_mismatch() {
+        let g = toy_graph();
+        let base = nsg_vectors::synthetic::uniform(g.num_nodes(), 5, 11);
+        let store = Sq8VectorSet::encode(&base);
+        let good = quantized_index_to_bytes(&g, 0, &store).unwrap();
+
+        let mut trailing = good.to_vec();
+        trailing.push(0xAB);
+        assert!(matches!(
+            quantized_index_from_bytes(&trailing),
+            Err(SerializeError::Corrupt(msg)) if msg.contains("trailing")
+        ));
+
+        // Hand-compose a graph section with a store of the wrong length.
+        let small = Sq8VectorSet::encode(&nsg_vectors::synthetic::uniform(2, 5, 11));
+        let mut mismatched = graph_to_bytes(&g, 0).unwrap().to_vec();
+        mismatched.extend_from_slice(&sq8_to_bytes(&small).unwrap());
+        assert!(matches!(
+            quantized_index_from_bytes(&mismatched),
             Err(SerializeError::Corrupt(_))
         ));
     }

@@ -18,21 +18,33 @@ use crate::context::SearchContext;
 use crate::index::{AnnIndex, SearchRequest};
 use crate::neighbor::Neighbor;
 use crate::nsg::{NsgIndex, NsgParams};
-use crate::search::{search_on_graph_into, SearchStats};
+use crate::search::{exact_rerank, search_on_graph_into, SearchStats};
 use nsg_vectors::distance::Distance;
+use nsg_vectors::quant::Sq8VectorSet;
 use nsg_vectors::sample::random_partition;
+use nsg_vectors::store::VectorStore;
 use nsg_vectors::VectorSet;
 use rayon::prelude::*;
 use std::sync::Arc;
 
 /// A collection of per-shard NSG indices with global-id bookkeeping.
-pub struct ShardedNsg<D> {
-    shards: Vec<NsgIndex<D>>,
+///
+/// Generic over the per-shard traversal [`VectorStore`] exactly like
+/// [`NsgIndex`]: shards are always built on `f32` rows and can be
+/// re-frozen onto SQ8 codes with [`quantize_sq8`](Self::quantize_sq8) —
+/// the partitioned analogue of the paper's §4.3 deployment under a memory
+/// budget. Two-phase requests ([`SearchRequest::with_rerank`]) rerank
+/// *within* each shard against its retained rows before the global merge.
+pub struct ShardedNsg<D, S: VectorStore = VectorSet> {
+    shards: Vec<NsgIndex<D, S>>,
     /// `global_ids[s][local]` is the id in the original base set of local node
     /// `local` of shard `s`.
     global_ids: Vec<Vec<u32>>,
     dim: usize,
 }
+
+/// A sharded NSG whose per-shard traversal runs on SQ8 codes.
+pub type QuantizedShardedNsg<D> = ShardedNsg<D, Sq8VectorSet>;
 
 impl<D: Distance + Sync + Clone> ShardedNsg<D> {
     /// Partitions `base` into `num_shards` random shards and builds one NSG
@@ -59,6 +71,19 @@ impl<D: Distance + Sync + Clone> ShardedNsg<D> {
         }
     }
 
+    /// Re-freezes every shard onto SQ8 scalar-quantized codes (shard graphs,
+    /// entry points and id maps are untouched; each shard retains its `f32`
+    /// rows for the rerank phase).
+    pub fn quantize_sq8(self) -> QuantizedShardedNsg<D> {
+        ShardedNsg {
+            shards: self.shards.into_iter().map(NsgIndex::quantize_sq8).collect(),
+            global_ids: self.global_ids,
+            dim: self.dim,
+        }
+    }
+}
+
+impl<D: Distance + Sync + Clone, S: VectorStore> ShardedNsg<D, S> {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -71,7 +96,7 @@ impl<D: Distance + Sync + Clone> ShardedNsg<D> {
 
     /// Access to the per-shard indices (used by the experiment binaries to
     /// report per-shard statistics).
-    pub fn shards(&self) -> &[NsgIndex<D>] {
+    pub fn shards(&self) -> &[NsgIndex<D, S>] {
         &self.shards
     }
 
@@ -85,7 +110,7 @@ impl<D: Distance + Sync + Clone> ShardedNsg<D> {
     }
 }
 
-impl<D: Distance + Sync + Clone> AnnIndex for ShardedNsg<D> {
+impl<D: Distance + Sync + Clone, S: VectorStore> AnnIndex for ShardedNsg<D, S> {
     fn new_context(&self) -> SearchContext {
         let largest = self.shards.iter().map(|s| s.base().len()).max().unwrap_or(0);
         SearchContext::for_points(largest)
@@ -97,19 +122,25 @@ impl<D: Distance + Sync + Clone> AnnIndex for ShardedNsg<D> {
         request: &SearchRequest,
         query: &[f32],
     ) -> &'a [Neighbor] {
-        let params = request.params();
+        let params = request.traversal_params();
         let mut stats = SearchStats::default();
         ctx.scored.clear();
         for (shard, ids) in self.shards.iter().zip(&self.global_ids) {
             search_on_graph_into(
                 shard.graph(),
-                shard.base(),
+                shard.store().as_ref(),
                 query,
                 &[shard.navigating_node()],
                 params,
                 shard.metric(),
                 ctx,
             );
+            // Two-phase: rescore this shard's candidates against its retained
+            // rows (in place on `ctx.results` — `ctx.scored` keeps the global
+            // merge) before remapping to global ids.
+            if request.rerank_factor() > 1 {
+                exact_rerank(ctx, shard.base(), shard.metric(), query, request.k);
+            }
             stats.accumulate(ctx.stats);
             // Remap the shard-local answer to global ids into the merge
             // buffer (disjoint field borrows; no allocation once warm).
@@ -216,6 +247,39 @@ mod tests {
         let got = sharded.search(base.get(2), &SearchRequest::new(3).with_effort(20));
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].id, 2);
+    }
+
+    #[test]
+    fn quantized_shards_with_rerank_match_flat_precision() {
+        let base = deep_like(1800, 61);
+        let queries = deep_like(25, 62);
+        let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+        let flat = ShardedNsg::build(&base, SquaredEuclidean, params(), 3, 4);
+        let flat_request = SearchRequest::new(10).with_effort(80);
+        let flat_results: Vec<Vec<u32>> = flat
+            .search_batch(&queries, &flat_request)
+            .iter()
+            .map(|r| neighbor::ids(r))
+            .collect();
+        let flat_precision = mean_precision(&flat_results, &gt, 10);
+
+        let quantized = flat.quantize_sq8();
+        assert_eq!(quantized.num_shards(), 3);
+        let request = flat_request.with_rerank(4);
+        let results: Vec<Vec<u32>> = quantized
+            .search_batch(&queries, &request)
+            .iter()
+            .map(|r| neighbor::ids(r))
+            .collect();
+        let precision = mean_precision(&results, &gt, 10);
+        assert!(
+            precision >= flat_precision * 0.99,
+            "quantized sharded precision {precision} fell below 99% of flat {flat_precision}"
+        );
+        // Reranked merge keeps exact distances and global ids.
+        let merged = quantized.search(base.get(5), &request);
+        assert_eq!(merged[0].id, 5);
+        assert_eq!(merged[0].dist, 0.0);
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod sweep;
 pub mod timing;
 
 pub use report::Table;
-pub use sweep::{sweep_index, SweepPoint};
+pub use sweep::{memory_recall_row, sweep_index, sweep_index_requests, MemoryRecallRow, SweepPoint};

@@ -22,6 +22,9 @@ use std::time::Instant;
 pub struct SweepPoint {
     /// Effort value (pool size / probes / checks) this point was measured at.
     pub effort: usize,
+    /// Exact-rerank factor of the request this point was measured with
+    /// (1 = single-phase; see `SearchRequest::with_rerank`).
+    pub rerank: usize,
     /// Mean precision at k.
     pub precision: f64,
     /// Queries per second (single-threaded, as in the paper's search
@@ -49,15 +52,34 @@ pub fn sweep_index(
     k: usize,
     efforts: &[usize],
 ) -> Vec<SweepPoint> {
+    let requests: Vec<SearchRequest> = efforts
+        .iter()
+        .map(|&effort| SearchRequest::new(k).with_effort(effort))
+        .collect();
+    sweep_index_requests(index, queries, ground_truth, &requests)
+}
+
+/// The general form of [`sweep_index`]: measures one operating point per
+/// fully-specified [`SearchRequest`] (so two-phase rerank sweeps, or mixed
+/// effort × rerank grids, reuse the same harness). `k` is taken from each
+/// request; stats collection is forced on.
+pub fn sweep_index_requests(
+    index: &dyn AnnIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    requests: &[SearchRequest],
+) -> Vec<SweepPoint> {
     assert_eq!(
         queries.len(),
         ground_truth.num_queries(),
         "query batch does not match the ground truth"
     );
     let mut ctx: SearchContext = index.new_context();
-    let mut points = Vec::with_capacity(efforts.len());
-    for &effort in efforts {
-        let request = SearchRequest::new(k).with_effort(effort).with_stats();
+    let mut points = Vec::with_capacity(requests.len());
+    for base_request in requests {
+        let request = base_request.with_stats();
+        let k = request.k;
+        let effort = request.quality.effort;
         let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
         let mut distance_computations = 0u64;
         let mut hops = 0u64;
@@ -75,6 +97,7 @@ pub fn sweep_index(
         let secs = elapsed.as_secs_f64().max(1e-12);
         points.push(SweepPoint {
             effort,
+            rerank: request.rerank_factor(),
             precision,
             qps: n / secs,
             mean_latency_us: elapsed.as_micros() as f64 / n,
@@ -83,6 +106,41 @@ pub fn sweep_index(
         });
     }
     points
+}
+
+/// One row of a recall-vs-memory table: a labeled index configuration, its
+/// resident vector-payload bytes, and the operating point measured for it —
+/// the unit of the f32-vs-SQ8 tradeoff tables (`exp_memory_recall`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRecallRow {
+    /// Configuration label (e.g. `"f32"`, `"sq8 r=4"`).
+    pub label: String,
+    /// Resident bytes of the traversal store's vector payload
+    /// (`VectorStore::memory_bytes`).
+    pub vector_bytes: usize,
+    /// The measured operating point.
+    pub point: SweepPoint,
+}
+
+/// Measures one [`MemoryRecallRow`]: runs the query batch at `request` and
+/// pairs the resulting operating point with the store footprint the caller
+/// reports for this configuration.
+pub fn memory_recall_row(
+    label: impl Into<String>,
+    vector_bytes: usize,
+    index: &dyn AnnIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    request: SearchRequest,
+) -> MemoryRecallRow {
+    let point = sweep_index_requests(index, queries, ground_truth, &[request])
+        .pop()
+        .expect("one request yields one point");
+    MemoryRecallRow {
+        label: label.into(),
+        vector_bytes,
+        point,
+    }
 }
 
 /// A geometric ladder of effort values, the usual sweep grid of the
@@ -182,6 +240,29 @@ mod tests {
         assert_eq!(points[0].mean_distance_computations, 50.0);
         assert_eq!(points[1].mean_distance_computations, 300.0);
         assert!(points.iter().all(|p| p.mean_hops == 1.0));
+    }
+
+    #[test]
+    fn request_sweep_records_the_rerank_factor_and_memory_rows_pair_up() {
+        let base = uniform(200, 4, 5);
+        let queries = uniform(8, 4, 6);
+        let gt = exact_knn(&base, &queries, 3, &SquaredEuclidean);
+        let index = FakeIndex { base };
+        let requests = [
+            SearchRequest::new(3).with_effort(200),
+            SearchRequest::new(3).with_effort(200).with_rerank(4),
+        ];
+        let points = sweep_index_requests(&index, &queries, &gt, &requests);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].rerank, 1);
+        assert_eq!(points[1].rerank, 4);
+        assert_eq!(points[0].effort, 200);
+
+        let row = memory_recall_row("fake", 1234, &index, &queries, &gt, requests[0]);
+        assert_eq!(row.label, "fake");
+        assert_eq!(row.vector_bytes, 1234);
+        assert_eq!(row.point.effort, 200);
+        assert!(row.point.precision > 0.9, "effort 200 covers the whole fake base");
     }
 
     #[test]

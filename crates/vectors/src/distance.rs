@@ -139,13 +139,45 @@ impl Distance for InnerProduct {
     }
 }
 
+/// Visitor for [`DistanceKind::dispatch`]: implement `visit` once, generically
+/// over the metric, and the dispatcher instantiates it per concrete metric
+/// type — runtime kind selection **without** putting a `Box<dyn Distance>`
+/// virtual call inside the distance loop.
+pub trait DistanceVisitor {
+    /// The result of visiting.
+    type Out;
+    /// Invoked with the statically-typed metric the kind names.
+    fn visit<D: Distance>(self, metric: D) -> Self::Out;
+}
+
 impl DistanceKind {
-    /// Instantiates the metric this kind names.
+    /// Instantiates the metric this kind names as a trait object.
+    ///
+    /// This is a *setup-path* convenience (configuration parsing, bench
+    /// bins): a `Box<dyn Distance>` pays one virtual call per distance
+    /// evaluation, so it must never be threaded into a search loop. Every
+    /// search path in the workspace is generic over `D: Distance` (and,
+    /// since the `VectorStore` refactor, over the store) — audit result:
+    /// no hot-path call sites of this method remain; indices hold concrete
+    /// metric types end to end. For runtime kind selection that stays
+    /// monomorphized, use [`dispatch`](Self::dispatch).
     pub fn metric(self) -> Box<dyn Distance> {
         match self {
             DistanceKind::SquaredEuclidean => Box::new(SquaredEuclidean),
             DistanceKind::Euclidean => Box::new(Euclidean),
             DistanceKind::InnerProduct => Box::new(InnerProduct),
+        }
+    }
+
+    /// Runs `visitor` with the statically-typed metric this kind names — the
+    /// monomorphized alternative to [`metric`](Self::metric): the kind is
+    /// branched on **once**, then the visitor body (typically an entire
+    /// index build + query run) executes with full static dispatch.
+    pub fn dispatch<V: DistanceVisitor>(self, visitor: V) -> V::Out {
+        match self {
+            DistanceKind::SquaredEuclidean => visitor.visit(SquaredEuclidean),
+            DistanceKind::Euclidean => visitor.visit(Euclidean),
+            DistanceKind::InnerProduct => visitor.visit(InnerProduct),
         }
     }
 }
@@ -284,6 +316,31 @@ mod tests {
         assert_eq!(d.count(), 2);
         d.reset();
         assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn dispatch_monomorphizes_the_named_metric() {
+        struct Eval<'a> {
+            a: &'a [f32],
+            b: &'a [f32],
+        }
+        impl DistanceVisitor for Eval<'_> {
+            type Out = (DistanceKind, f32);
+            fn visit<D: Distance>(self, metric: D) -> Self::Out {
+                (metric.kind(), metric.distance(self.a, self.b))
+            }
+        }
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        for kind in [
+            DistanceKind::SquaredEuclidean,
+            DistanceKind::Euclidean,
+            DistanceKind::InnerProduct,
+        ] {
+            let (got_kind, dist) = kind.dispatch(Eval { a: &a, b: &b });
+            assert_eq!(got_kind, kind);
+            assert_eq!(dist, kind.metric().distance(&a, &b));
+        }
     }
 
     #[test]

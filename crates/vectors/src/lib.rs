@@ -18,6 +18,12 @@
 //! * [`lid`] — the local intrinsic dimension estimator used in Table 1,
 //! * [`prefetch`] — software-prefetch primitives (no-op on unsupported
 //!   targets) that hide the gather latency of per-hop vector reads,
+//! * [`store`] — the [`VectorStore`] abstraction the search hot loop is
+//!   generic over: asymmetric prepared-query distance evaluation, prefetch,
+//!   and memory accounting, monomorphized per backend,
+//! * [`quant`] — the SQ8 scalar-quantized store (one byte per dimension,
+//!   bounded error, 4× less bandwidth) and the shared quantized-distance
+//!   kernels (SQ8 asymmetric l2 / dot, PQ's ADC table accumulation),
 //! * [`sample`] — deterministic sampling and train/query/validation splits.
 //!
 //! All randomized routines take explicit seeds so experiments are reproducible.
@@ -29,7 +35,9 @@ pub mod io;
 pub mod lid;
 pub mod metrics;
 pub mod prefetch;
+pub mod quant;
 pub mod sample;
+pub mod store;
 pub mod synthetic;
 
 pub use dataset::VectorSet;
@@ -37,3 +45,5 @@ pub use distance::{CountingDistance, Distance, DistanceKind, Euclidean, InnerPro
 pub use ground_truth::{exact_knn, exact_knn_single, GroundTruth};
 pub use prefetch::{prefetch_read, prefetch_slice};
 pub use metrics::{precision_at_k, recall_curve};
+pub use quant::Sq8VectorSet;
+pub use store::{QueryScratch, VectorStore};

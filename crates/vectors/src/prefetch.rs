@@ -55,9 +55,19 @@ pub fn prefetch_read(ptr: *const u8) {
 /// next candidate's base vector.
 #[inline(always)]
 pub fn prefetch_slice(v: &[f32]) {
-    let bytes = std::mem::size_of_val(v);
+    prefetch_span(v.as_ptr() as *const u8, std::mem::size_of_val(v));
+}
+
+/// Byte-slice form of [`prefetch_slice`], used by the quantized stores whose
+/// rows are `u8` code runs (4× fewer lines in flight per vector).
+#[inline(always)]
+pub fn prefetch_bytes(v: &[u8]) {
+    prefetch_span(v.as_ptr(), v.len());
+}
+
+#[inline(always)]
+fn prefetch_span(base: *const u8, bytes: usize) {
     let lines = bytes.div_ceil(CACHE_LINE_BYTES).clamp(1, MAX_PREFETCH_LINES);
-    let base = v.as_ptr() as *const u8;
     for line in 0..lines {
         // In-bounds for every line except possibly one past a short final
         // line; `prefetch_read` is defined for any address either way.
@@ -66,21 +76,24 @@ pub fn prefetch_slice(v: &[f32]) {
 }
 
 /// Iterates over candidate node ids while prefetching each *next*
-/// candidate's base vector one step ahead — the shared expansion-loop
+/// candidate's stored vector one step ahead — the shared expansion-loop
 /// discipline of the Algorithm 1 and HNSW hot paths: by the time a
 /// candidate's distance is computed, its vector has been in flight for one
 /// full iteration. The first candidate is prefetched immediately so it
 /// overlaps the caller's preceding bookkeeping (e.g. the visited-set probe).
-pub fn lookahead_ids<'a>(
+///
+/// Generic over [`VectorStore`](crate::store::VectorStore): flat stores pull
+/// `f32` rows, quantized stores their (4× smaller) code rows.
+pub fn lookahead_ids<'a, S: crate::store::VectorStore + ?Sized>(
     ids: &'a [u32],
-    base: &'a crate::VectorSet,
+    store: &'a S,
 ) -> impl Iterator<Item = u32> + 'a {
     if let Some(&first) = ids.first() {
-        base.prefetch(first as usize);
+        store.prefetch(first as usize);
     }
     ids.iter().enumerate().map(move |(i, &n)| {
         if let Some(&next) = ids.get(i + 1) {
-            base.prefetch(next as usize);
+            store.prefetch(next as usize);
         }
         n
     })

@@ -39,6 +39,10 @@ pub trait Buf {
         self.advance(8);
         v
     }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
 }
 
 impl Buf for &[u8] {
@@ -69,6 +73,10 @@ pub trait BufMut {
 
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
     }
 }
 

@@ -82,7 +82,7 @@ pub mod prelude {
     pub use nsg_core::graph::{CompactGraph, DirectedGraph, GraphView};
     pub use nsg_core::index::{AnnIndex, SearchQuality, SearchRequest};
     pub use nsg_core::neighbor::{self, Neighbor};
-    pub use nsg_core::nsg::{NsgIndex, NsgParams};
+    pub use nsg_core::nsg::{NsgIndex, NsgParams, QuantizedNsg};
     pub use nsg_core::search::{search_on_graph, search_on_graph_into, SearchParams, SearchStats};
     pub use nsg_core::sharded::ShardedNsg;
     pub use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
@@ -93,6 +93,8 @@ pub mod prelude {
     pub use nsg_vectors::distance::{Distance, Euclidean, InnerProduct, SquaredEuclidean};
     pub use nsg_vectors::ground_truth::exact_knn;
     pub use nsg_vectors::metrics::mean_precision;
+    pub use nsg_vectors::quant::Sq8VectorSet;
+    pub use nsg_vectors::store::{QueryScratch, VectorStore};
     pub use nsg_vectors::synthetic::{base_and_queries, SyntheticKind};
     pub use nsg_vectors::VectorSet;
 }

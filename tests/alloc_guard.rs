@@ -136,6 +136,57 @@ fn nsg_search_into_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn quantized_two_phase_search_is_allocation_free_after_warmup() {
+    // The VectorStore-refactor form of the guard: traversal on SQ8 codes
+    // (whose per-query preparation must reuse the context's query scratch,
+    // not allocate an expanded query) followed by the exact-rerank pass
+    // (which must rescore in place on the result buffer). Both phases
+    // together must be zero-allocation once warm.
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 40, 17);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 50,
+            max_degree: 24,
+            knn: NnDescentParams { k: 36, ..Default::default() },
+            reverse_insert: true,
+            seed: 5,
+        },
+    )
+    .quantize_sq8();
+    let request = SearchRequest::new(10).with_effort(100).with_rerank(4).with_stats();
+    let mut ctx = index.new_context();
+
+    for q in 0..4 {
+        let hits = index.search_into(&mut ctx, &request, queries.get(q));
+        assert_eq!(hits.len(), 10);
+    }
+
+    let allocations = count_allocations(|| {
+        for q in 0..queries.len() {
+            let hits = index.search_into(&mut ctx, &request, queries.get(q));
+            assert_eq!(hits.len(), 10);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "quantized two-phase search_into allocated {allocations} times across {} queries after warm-up",
+        queries.len()
+    );
+
+    // Sanity half: a cold context must be observed allocating (the query
+    // scratch and pool materialize), or the zero above is vacuous.
+    let cold = count_allocations(|| {
+        let mut fresh = index.new_context();
+        let _ = index.search_into(&mut fresh, &request, queries.get(0));
+    });
+    assert!(cold > 0, "tracking allocator failed to observe cold-context allocations");
+}
+
+#[test]
 fn raw_search_on_graph_into_is_allocation_free_after_warmup() {
     // Same guard one level down, on the shared Algorithm 1 routine every
     // graph index funnels through (the configuration the

@@ -190,6 +190,52 @@ proptest! {
         prop_assert_eq!(decoded_nav, nav);
     }
 
+    /// SQ8 quantization error is within the per-dimension bound: rounding to
+    /// the nearest of 256 affine levels can miss a coordinate by at most half
+    /// a step (`scaleᵢ / 2`), plus float rounding noise.
+    #[test]
+    fn sq8_encode_decode_error_is_within_the_quantization_bound(base in point_set()) {
+        let store = Sq8VectorSet::encode(&base);
+        prop_assert_eq!(store.len(), base.len());
+        prop_assert_eq!(store.dim(), base.dim());
+        for i in 0..base.len() {
+            let decoded = store.decode(i);
+            for (d, ((&x, &y), &s)) in base.get(i).iter().zip(&decoded).zip(store.scales()).enumerate() {
+                let bound = s / 2.0 + 1e-4 * x.abs().max(1.0);
+                prop_assert!(
+                    (x - y).abs() <= bound,
+                    "vector {} dim {}: |{} - {}| exceeds half-step bound {}", i, d, x, y, bound
+                );
+            }
+        }
+    }
+
+    /// The asymmetric SQ8 kernel agrees with decode-then-exact-distance, and
+    /// the store round-trips byte-exactly through the NSQ8 section.
+    #[test]
+    fn sq8_kernel_matches_decode_and_serialization_is_byte_exact(base in point_set()) {
+        use nsg::core::serialize::{sq8_from_bytes, sq8_to_bytes};
+        use nsg::vectors::store::{QueryScratch, VectorStore};
+
+        let store = Sq8VectorSet::encode(&base);
+        let query = base.get(0).to_vec();
+        let mut scratch = QueryScratch::new();
+        store.prepare_query(&SquaredEuclidean, &query, &mut scratch);
+        for i in 0..store.len() {
+            let fast = store.dist_to(&SquaredEuclidean, &scratch, i);
+            let slow = SquaredEuclidean.distance(&query, &store.decode(i));
+            prop_assert!(
+                (fast - slow).abs() <= 1e-3 * slow.max(1.0),
+                "vector {}: kernel {} vs decoded {}", i, fast, slow
+            );
+        }
+
+        let bytes = sq8_to_bytes(&store).unwrap();
+        let back = sq8_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &store);
+        prop_assert_eq!(sq8_to_bytes(&back).unwrap(), bytes);
+    }
+
     /// fvecs serialization round-trips arbitrary finite vector sets.
     #[test]
     fn fvecs_roundtrip(base in point_set()) {

@@ -1,0 +1,127 @@
+//! Quantization smoke suite (the named `quantization-smoke` CI step).
+//!
+//! End-to-end checks of the SQ8 + two-phase-search pipeline at the umbrella
+//! level: encode → search → rerank quality on clustered data, the full
+//! serialized round trip back into a working [`QuantizedNsg`], and the
+//! corrupt-input rejection bar.
+
+use nsg::core::nsg::QuantizedNsg;
+use nsg::core::serialize::{
+    quantized_index_from_bytes, quantized_index_to_bytes, SerializeError,
+};
+use nsg::prelude::*;
+use nsg::vectors::store::VectorStore;
+use std::sync::Arc;
+
+fn build_params() -> NsgParams {
+    NsgParams {
+        build_pool_size: 50,
+        max_degree: 24,
+        knn: NnDescentParams { k: 36, ..Default::default() },
+        reverse_insert: true,
+        seed: 7,
+    }
+}
+
+#[test]
+fn two_phase_search_recovers_f32_recall_on_clustered_data() {
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 2000, 40, 3);
+    let base = Arc::new(base);
+    let gt = exact_knn(&base, &queries, 10, &SquaredEuclidean);
+    let flat = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, build_params());
+
+    let request = SearchRequest::new(10).with_effort(120);
+    let flat_results: Vec<Vec<u32>> = flat
+        .search_batch(&queries, &request)
+        .iter()
+        .map(|r| neighbor::ids(r))
+        .collect();
+    let flat_recall = mean_precision(&flat_results, &gt, 10);
+
+    let quantized = flat.quantize_sq8();
+    // Memory acceptance: codes + affine parameters within 30% of flat bytes.
+    let sq8_bytes = quantized.store().as_ref().memory_bytes();
+    assert!(
+        (sq8_bytes as f64) <= base.memory_bytes() as f64 * 0.30,
+        "SQ8 store {sq8_bytes} bytes exceeds 30% of flat {}",
+        base.memory_bytes()
+    );
+
+    // A generous rerank factor recovers ≥ 99% of the f32 recall@10.
+    let two_phase: Vec<Vec<u32>> = quantized
+        .search_batch(&queries, &request.with_rerank(4))
+        .iter()
+        .map(|r| neighbor::ids(r))
+        .collect();
+    let recall = mean_precision(&two_phase, &gt, 10);
+    assert!(
+        recall >= flat_recall * 0.99,
+        "two-phase recall {recall} fell below 99% of the f32 recall {flat_recall}"
+    );
+}
+
+#[test]
+fn quantized_index_round_trips_through_bytes_into_identical_answers() {
+    let (base, queries) = base_and_queries(SyntheticKind::DeepLike, 1200, 25, 9);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, build_params()).quantize_sq8();
+    let request = SearchRequest::new(10).with_effort(80).with_rerank(3).with_stats();
+
+    let bytes = quantized_index_to_bytes(index.graph(), index.navigating_node(), index.store()).unwrap();
+    let (graph, nav, store) = quantized_index_from_bytes(&bytes).unwrap();
+    // Byte-exact round trip.
+    assert_eq!(quantized_index_to_bytes(&graph, nav, &store).unwrap(), bytes);
+
+    let restored: QuantizedNsg<SquaredEuclidean> = NsgIndex::from_store_parts(
+        Arc::new(store),
+        Arc::clone(&base),
+        SquaredEuclidean,
+        graph,
+        nav,
+        *index.params(),
+    );
+    let mut ctx_a = index.new_context();
+    let mut ctx_b = restored.new_context();
+    for q in 0..queries.len() {
+        let a = index.search_into(&mut ctx_a, &request, queries.get(q)).to_vec();
+        let stats_a = ctx_a.stats();
+        let b = restored.search_into(&mut ctx_b, &request, queries.get(q)).to_vec();
+        assert_eq!(a, b, "query {q} differs after the serialized round trip");
+        assert_eq!(stats_a, ctx_b.stats(), "query {q} cost differs after the round trip");
+    }
+}
+
+#[test]
+fn corrupt_quantized_streams_are_rejected_before_allocation() {
+    let base = Arc::new(nsg::vectors::synthetic::uniform(100, 8, 5));
+    let index = NsgIndex::build(Arc::clone(&base), SquaredEuclidean, build_params()).quantize_sq8();
+    let good = quantized_index_to_bytes(index.graph(), index.navigating_node(), index.store())
+        .unwrap()
+        .to_vec();
+
+    // Truncations anywhere in the stream fail cleanly.
+    for cut in [0, 4, good.len() / 2, good.len() - 1] {
+        assert!(
+            quantized_index_from_bytes(&good[..cut]).is_err(),
+            "truncation at {cut} bytes not detected"
+        );
+    }
+    // Flipped magic of the SQ8 section (right after the graph section).
+    let graph_len = nsg::core::serialize::graph_to_bytes(index.graph(), 0).unwrap().len();
+    let mut bad = good.clone();
+    bad[graph_len] ^= 0xFF;
+    assert!(matches!(
+        quantized_index_from_bytes(&bad),
+        Err(SerializeError::Corrupt(_))
+    ));
+    // Overstated vector count in the SQ8 header must be rejected by
+    // comparison against the bytes present — never by attempting the
+    // header-sized allocation.
+    let mut overstated = good.clone();
+    let n_at = graph_len + 8;
+    overstated[n_at..n_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        quantized_index_from_bytes(&overstated),
+        Err(SerializeError::Corrupt(_))
+    ));
+}
