@@ -82,7 +82,7 @@ impl<D: Distance + Sync> NswIndex<D> {
                 &base,
                 base.get(v as usize),
                 &[start],
-                SearchParams::new(params.ef_construction.max(params.m), params.m.max(1)),
+                SearchParams::new(params.ef_construction.max(params.m), params.m.max(1)), // lint:allow(params-construction): NSW insertion search, effort fixed by ef_construction
                 &metric,
             );
             for nb in result.neighbors.iter().take(params.m.max(1)) {

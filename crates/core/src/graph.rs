@@ -340,7 +340,7 @@ impl CompactGraph {
     /// `< offsets.len() - 1`.
     pub(crate) fn from_validated_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
         debug_assert!(!offsets.is_empty() && offsets[0] == 0);
-        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(offsets.last().map(|&o| o as usize), Some(targets.len()));
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(targets.iter().all(|&u| (u as usize) < offsets.len() - 1));
         Self { offsets, targets }
@@ -369,8 +369,12 @@ impl CompactGraph {
     /// # Panics
     /// Panics if `v` is out of range.
     #[inline]
+    // lint:hot-path
     pub fn neighbors(&self, v: u32) -> &[u32] {
         let v = v as usize;
+        // CSR invariant: offsets are monotone non-decreasing, so the slice
+        // bounds can never be inverted.
+        debug_assert!(self.offsets[v] <= self.offsets[v + 1]);
         &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
@@ -593,6 +597,9 @@ mod tests {
         let a = c.neighbors(0);
         let b = c.neighbors(1);
         let d = c.neighbors(2);
+        // SAFETY: each `add` lands one-past-the-end of its own subslice,
+        // which `<*const T>::add` permits; the pointers are only compared,
+        // never dereferenced.
         unsafe {
             assert_eq!(a.as_ptr().add(a.len()), b.as_ptr(), "lists 0 and 1 not adjacent");
             assert_eq!(b.as_ptr().add(b.len()), d.as_ptr(), "lists 1 and 2 not adjacent");

@@ -3,6 +3,11 @@
 //! (NSG), together with the shared greedy search routine (Algorithm 1), graph
 //! analytics, serialization and sharded (distributed-style) search.
 
+// Every `unsafe` operation inside an `unsafe fn` must carry its own block
+// (and, per the lint gate's R4, its own SAFETY comment). Core's only unsafe
+// today is test-only pointer math, but the deny keeps future unsafe honest.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod context;
 pub mod graph;
 pub mod index;

@@ -131,12 +131,15 @@ impl CandidatePool {
     /// the Algorithm 1 hot loop and redundant with both checks above, so it
     /// was removed. Offering one id with two different distances violates the
     /// contract and may duplicate the id in the pool.)
+    // lint:hot-path
     pub fn insert(&mut self, id: u32, dist: f32) -> bool {
-        if self.entries.len() >= self.capacity {
-            let worst = self.entries.last().expect("full pool is non-empty");
-            if dist > worst.dist || (dist == worst.dist && id >= worst.id) {
-                return false;
-            }
+        if self.entries.len() >= self.capacity
+            && self
+                .entries
+                .last()
+                .is_some_and(|worst| dist > worst.dist || (dist == worst.dist && id >= worst.id))
+        {
+            return false;
         }
         let pos = self
             .entries
@@ -149,6 +152,16 @@ impl CandidatePool {
         if self.entries.len() > self.capacity {
             self.entries.pop();
         }
+        // Local sortedness at the insertion point; by induction (the pool is
+        // only ever mutated here) the whole pool stays sorted.
+        debug_assert!(pos == 0 || {
+            let p = &self.entries[pos - 1];
+            p.dist < dist || (p.dist == dist && p.id < id)
+        });
+        debug_assert!(pos + 1 >= self.entries.len() || {
+            let nxt = &self.entries[pos + 1];
+            dist < nxt.dist || (dist == nxt.dist && id < nxt.id)
+        });
         true
     }
 

@@ -146,7 +146,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let centroid = base.centroid();
         let mut rng = StdRng::seed_from_u64(params.seed);
         let random_start = rng.random_range(0..n as u32);
-        let nav_params = SearchParams::new(params.build_pool_size, 1);
+        let nav_params = SearchParams::new(params.build_pool_size, 1); // lint:allow(params-construction): build-time medoid search, not a user query
         let nav_result = search_on_graph(&knn_graph, &base, &centroid, &[random_start], nav_params, &metric);
         let navigating_node = nav_result.neighbors.first().map(|nb| nb.id).unwrap_or(random_start);
 
@@ -156,7 +156,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         // context allocation per node; every search resets the context state
         // it uses, keeping results identical at any worker count.
         let m = params.max_degree.max(1);
-        let collect_params = SearchParams::new(params.build_pool_size, params.build_pool_size);
+        let collect_params = SearchParams::new(params.build_pool_size, params.build_pool_size); // lint:allow(params-construction): build-time search-collect pass, effort fixed by BuildParams
         let selected: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
             .map_init(
@@ -297,7 +297,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         let n = graph.num_nodes();
         let mut reachable = vec![false; n];
         Self::dfs_mark(graph, navigating_node, &mut reachable);
-        let repair_params = SearchParams::new(pool_size.max(8), pool_size.max(8));
+        let repair_params = SearchParams::new(pool_size.max(8), pool_size.max(8)); // lint:allow(params-construction): connectivity-repair search during build
         let mut ctx = SearchContext::for_points(n);
         for v in 0..n as u32 {
             if reachable[v as usize] {

@@ -142,8 +142,12 @@ impl VisitedSet {
 
     /// Marks `id` visited; returns `true` if it was not visited in this epoch.
     #[inline]
+    // lint:hot-path
     pub fn insert(&mut self, id: u32) -> bool {
         let slot = &mut self.marks[id as usize];
+        // Epochs only move forward (`next_epoch` increments), so a mark from
+        // the future would mean the set was shared across searches unsafely.
+        debug_assert!(*slot <= self.epoch, "mark {} ahead of epoch {}", *slot, self.epoch);
         if *slot == self.epoch {
             false
         } else {
@@ -155,6 +159,7 @@ impl VisitedSet {
     /// Whether `id` has been visited in this epoch.
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
+        debug_assert!(self.marks[id as usize] <= self.epoch);
         self.marks[id as usize] == self.epoch
     }
 }
@@ -171,6 +176,7 @@ impl VisitedSet {
 /// asymmetric quantized kernel — the query is prepared into
 /// `ctx.query_scratch` once, then every candidate pays one `dist_to`.
 #[allow(clippy::too_many_arguments)] // private plumbing shared by the public search variants
+// lint:hot-path
 fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Sized>(
     graph: &G,
     store: &S,
@@ -236,6 +242,7 @@ fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Siz
 /// (see [`SearchRequest::traversal_params`](crate::index::SearchRequest::traversal_params));
 /// a no-op-shaped pass over an already-exact result set is harmless, which
 /// is why the flat-store indices can share the same code path.
+// lint:hot-path
 pub fn exact_rerank<D: Distance + ?Sized>(
     ctx: &mut SearchContext,
     rows: &VectorSet,

@@ -224,8 +224,10 @@ fn decode_sq8(bytes: &mut &[u8]) -> Result<Sq8VectorSet, SerializeError> {
     if magic != SQ8_MAGIC {
         return Err(SerializeError::Corrupt(format!("bad SQ8 magic 0x{magic:08x}")));
     }
-    let dim = bytes.get_u32_le() as usize;
-    let n = bytes.get_u32_le() as usize;
+    let dim32 = bytes.get_u32_le();
+    let n32 = bytes.get_u32_le();
+    let dim = dim32 as usize;
+    let n = n32 as usize;
     if dim == 0 {
         return Err(SerializeError::Corrupt("SQ8 dimension is zero".into()));
     }
@@ -255,15 +257,18 @@ fn decode_sq8(bytes: &mut &[u8]) -> Result<Sq8VectorSet, SerializeError> {
         scale.push(s);
     }
     // Code arena: `n · dim` bytes, claimed count checked against the stream
-    // before the allocation (u64 math so the product cannot wrap).
-    let code_bytes = n as u64 * dim as u64;
-    if (bytes.remaining() as u64) < code_bytes {
-        return Err(SerializeError::Corrupt(format!(
-            "SQ8 header claims {n} vectors ({code_bytes} code bytes) but only {} bytes remain",
-            bytes.remaining()
-        )));
-    }
-    let code_bytes = code_bytes as usize;
+    // before the allocation (u64 math so the product cannot wrap, checked
+    // conversion back so a 32-bit host cannot silently truncate it).
+    let claimed = u64::from(n32) * u64::from(dim32);
+    let code_bytes = usize::try_from(claimed)
+        .ok()
+        .filter(|&cb| cb <= bytes.remaining())
+        .ok_or_else(|| {
+            SerializeError::Corrupt(format!(
+                "SQ8 header claims {n} vectors ({claimed} code bytes) but only {} bytes remain",
+                bytes.remaining()
+            ))
+        })?;
     let codes = bytes.chunk()[..code_bytes].to_vec();
     bytes.advance(code_bytes);
     Ok(Sq8VectorSet::from_parts(dim, min, scale, codes))

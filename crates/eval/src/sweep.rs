@@ -135,7 +135,7 @@ pub fn memory_recall_row(
 ) -> MemoryRecallRow {
     let point = sweep_index_requests(index, queries, ground_truth, &[request])
         .pop()
-        .expect("one request yields one point");
+        .expect("one request yields one point"); // lint:allow(no-panic): sweep maps requests 1:1, one request in means one point out
     MemoryRecallRow {
         label: label.into(),
         vector_bytes,

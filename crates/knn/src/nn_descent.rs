@@ -84,11 +84,10 @@ impl NodeList {
         if self.entries.iter().any(|e| e.neighbor.id == id) {
             return false;
         }
-        if self.entries.len() >= self.capacity {
-            let worst = self.entries.last().expect("non-empty full list");
-            if dist >= worst.neighbor.dist {
-                return false;
-            }
+        if self.entries.len() >= self.capacity
+            && self.entries.last().is_some_and(|worst| dist >= worst.neighbor.dist)
+        {
+            return false;
         }
         let neighbor = ScoredNeighbor::new(id, dist);
         let pos = self

@@ -1,0 +1,481 @@
+//! A hand-rolled lexer for (a useful superset of) Rust's token grammar.
+//!
+//! The rule engine in [`crate::rules`] works at token granularity: it needs
+//! to know that `unwrap` inside a string literal or a comment is *text*, not
+//! a call, and that `'a` in `&'a str` is a lifetime while `'a'` is a char.
+//! Full parsing (a `syn`-style AST) is unnecessary at that granularity, and
+//! the offline-shim discipline forbids external crates anyway, so this module
+//! implements exactly the lexical subset the rules need:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* .. */`,
+//!   **including nesting**, doc or not), kept as tokens so comment-driven
+//!   directives (`// lint:allow`, `// lint:hot-path`, `// SAFETY:`) work;
+//! * string-ish literals: `"…"` with escapes, byte strings `b"…"`,
+//!   raw strings `r"…"` / `r#"…"#` (any number of `#`s), and the raw
+//!   byte/C-string spellings `br"…"`, `cr#"…"#`, `c"…"`;
+//! * char literals vs lifetimes: `'x'`, `'\n'`, `b'x'` are chars, `'a` in
+//!   `<'a>` / `&'a` / `'outer:` is a lifetime;
+//! * identifiers (including raw idents `r#match`), numeric literals
+//!   (including `1_000`, `0x4E53`, `1.5e-3`, suffixed forms), and
+//!   single-character punctuation.
+//!
+//! Multi-character operators (`::`, `->`, `=>`) are deliberately left as
+//! sequences of single-char [`TokenKind::Punct`] tokens — the rules match
+//! them positionally, and splitting keeps the lexer trivially correct.
+//!
+//! The lexer is strict about literal termination: an unterminated string or
+//! block comment is a [`LexError`], not a silently-recovered token, because a
+//! mis-lexed region could hide real violations from every rule downstream.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `SearchParams`, `r#match`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`). Text includes the
+    /// leading quote.
+    Lifetime,
+    /// Character or byte-character literal (`'x'`, `'\''`, `b'\xFF'`).
+    CharLit,
+    /// String-ish literal: plain, byte, C or raw in any combination.
+    StrLit,
+    /// Numeric literal, including suffix (`42usize`, `0x7F`, `1.5e-3`).
+    NumLit,
+    /// Single punctuation character (`{`, `}`, `:`, `!`, `.`; also each half
+    /// of `::` and friends).
+    Punct,
+    /// `// …` comment, text excludes the trailing newline.
+    LineComment,
+    /// `/* … */` comment, nesting-aware; may span lines.
+    BlockComment,
+}
+
+/// One lexed token. `text` borrows from the source; `line`/`end_line` are
+/// 1-based and equal except for block comments and multi-line strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// A lexing failure. Fatal for the file: rules refuse to run over a token
+/// stream that might be misaligned with the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn count_newlines(s: &str) -> u32 {
+    s.bytes().filter(|&b| b == b'\n').count() as u32
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, message: &str) -> LexError {
+        LexError { line: self.line, message: message.to_string() }
+    }
+
+    fn peek(&self, off: usize) -> u8 {
+        *self.bytes.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, start_line: u32) -> Token<'a> {
+        Token { kind, text: &self.src[start..self.pos], line: start_line, end_line: self.line }
+    }
+
+    /// Consumes `// …` up to (not including) the newline.
+    fn line_comment(&mut self, start: usize) -> Token<'a> {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.token(TokenKind::LineComment, start, self.line)
+    }
+
+    /// Consumes `/* … */` honouring nesting.
+    fn block_comment(&mut self, start: usize) -> Result<Token<'a>, LexError> {
+        let start_line = self.line;
+        self.pos += 2; // opening `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("unterminated block comment"));
+            }
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Ok(self.token(TokenKind::BlockComment, start, start_line))
+    }
+
+    /// Consumes a `"…"` body (opening quote at `self.pos`), with escapes.
+    fn escaped_string(&mut self, start: usize, start_line: u32) -> Result<Token<'a>, LexError> {
+        self.pos += 1; // opening quote
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(self.token(TokenKind::StrLit, start, start_line));
+                }
+                Some(b'\\') => {
+                    // Any escape is two bytes at the lexical level; `\u{…}`
+                    // continues with `{…}` which contains no quote. A `\`
+                    // before a newline is Rust's line-continuation escape —
+                    // the newline still counts for line accounting.
+                    if self.peek(1) == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` with `hashes` `#`s; `self.pos` is at the
+    /// opening quote.
+    fn raw_string(
+        &mut self,
+        start: usize,
+        start_line: u32,
+        hashes: usize,
+    ) -> Result<Token<'a>, LexError> {
+        self.pos += 1; // opening quote
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated raw string literal")),
+                Some(b'"') => {
+                    let tail = &self.bytes[self.pos + 1..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                        self.pos += 1 + hashes;
+                        return Ok(self.token(TokenKind::StrLit, start, start_line));
+                    }
+                    self.pos += 1;
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a char literal body; `self.pos` is at the opening `'`.
+    fn char_body(&mut self, start: usize) -> Result<Token<'a>, LexError> {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        loop {
+            match self.bytes.get(self.pos) {
+                None | Some(b'\n') => return Err(self.err("unterminated char literal")),
+                Some(b'\'') => {
+                    self.pos += 1;
+                    return Ok(self.token(TokenKind::CharLit, start, start_line));
+                }
+                Some(b'\\') => {
+                    if self.peek(1) == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// `'` dispatch: char literal or lifetime. Rust disambiguates exactly by
+    /// "ident-like run followed by a closing quote": `'a'` is a char, `'a` a
+    /// lifetime, `'ab` a lifetime, `'\n'` a char.
+    fn quote(&mut self, start: usize) -> Result<Token<'a>, LexError> {
+        let next = self.peek(1);
+        if next == b'\\' || !is_ident_start(next) {
+            return self.char_body(start);
+        }
+        // Ident-like after the quote: scan the run, then look for a close.
+        let mut j = self.pos + 1;
+        while j < self.bytes.len() && is_ident_continue(self.bytes[j]) {
+            j += 1;
+        }
+        if self.bytes.get(j) == Some(&b'\'') && j - (self.pos + 1) == 1 {
+            return self.char_body(start); // e.g. 'x'
+        }
+        self.pos = j;
+        Ok(self.token(TokenKind::Lifetime, start, self.line))
+    }
+
+    /// Consumes a numeric literal starting at a digit: integer/float bodies,
+    /// `_` separators, base prefixes, exponents, type suffixes.
+    fn number(&mut self, start: usize) -> Token<'a> {
+        loop {
+            let b = self.peek(0);
+            if is_ident_continue(b) {
+                // Covers digits, hex digits, `_`, suffixes and the `e`/`E`
+                // of an exponent.
+                let at_exponent = (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), b'+' | b'-')
+                    && self.peek(2).is_ascii_digit();
+                self.pos += 1;
+                if at_exponent {
+                    self.pos += 1; // consume the sign too
+                }
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                self.pos += 1; // decimal point of `1.5` (but not `1.max()`)
+            } else {
+                break;
+            }
+        }
+        self.token(TokenKind::NumLit, start, self.line)
+    }
+
+    /// Consumes an identifier run starting at `self.pos`, handling the
+    /// string-prefix forms (`r"`, `b"`, `br#"`, `c"`, …), raw idents
+    /// (`r#match`) and byte chars (`b'x'`).
+    fn word(&mut self, start: usize) -> Result<Token<'a>, LexError> {
+        let start_line = self.line;
+        let mut j = self.pos;
+        while j < self.bytes.len() && is_ident_continue(self.bytes[j]) {
+            j += 1;
+        }
+        let word = &self.src[self.pos..j];
+
+        // String-literal prefixes: the whole literal is one token.
+        let raw_capable = matches!(word, "r" | "br" | "cr");
+        if raw_capable {
+            let mut hashes = 0usize;
+            while self.bytes.get(j + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.bytes.get(j + hashes) == Some(&b'"') {
+                self.pos = j + hashes;
+                return self.raw_string(start, start_line, hashes);
+            }
+            // Raw identifier `r#match`: one `#` then an ident run.
+            if word == "r" && hashes == 1 && is_ident_start(self.peek(j + 1 - self.pos)) {
+                let mut k = j + 1;
+                while k < self.bytes.len() && is_ident_continue(self.bytes[k]) {
+                    k += 1;
+                }
+                self.pos = k;
+                return Ok(self.token(TokenKind::Ident, start, start_line));
+            }
+        }
+        if matches!(word, "b" | "c") && self.bytes.get(j) == Some(&b'"') {
+            self.pos = j;
+            return self.escaped_string(start, start_line);
+        }
+        if word == "b" && self.bytes.get(j) == Some(&b'\'') {
+            self.pos = j;
+            return self.char_body(start);
+        }
+
+        self.pos = j;
+        Ok(self.token(TokenKind::Ident, start, start_line))
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token<'a>>, LexError> {
+        // Skip whitespace, tracking lines.
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let b = self.bytes[self.pos];
+        let tok = match b {
+            b'/' if self.peek(1) == b'/' => self.line_comment(start),
+            b'/' if self.peek(1) == b'*' => self.block_comment(start)?,
+            b'"' => self.escaped_string(start, self.line)?,
+            b'\'' => self.quote(start)?,
+            _ if is_ident_start(b) => self.word(start)?,
+            _ if b.is_ascii_digit() => self.number(start),
+            _ => {
+                // Single punctuation byte. Non-ASCII bytes only ever appear
+                // inside strings/comments in this codebase; if one shows up
+                // here, emitting per-byte puncts keeps positions consistent.
+                self.pos += 1;
+                self.token(TokenKind::Punct, start, self.line)
+            }
+        };
+        Ok(Some(tok))
+    }
+}
+
+/// Lexes `src` into a full token stream, comments included.
+pub fn lex(src: &str) -> Result<Vec<Token<'_>>, LexError> {
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    while let Some(tok) = lx.next_token()? {
+        debug_assert_eq!(
+            tok.end_line,
+            tok.line + count_newlines(tok.text),
+            "token line accounting must match embedded newlines"
+        );
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).expect("lexes").into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::NumLit, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_forms() {
+        for src in ["1_000", "0x4E53_4731", "1.5e-3", "2e10", "42usize", "0b1010", "3.0f32"] {
+            let toks = kinds(src);
+            assert_eq!(toks, vec![(TokenKind::NumLit, src)], "lexing {src:?}");
+        }
+        // Method call on an integer must not eat the dot.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::NumLit, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Ident, "max"));
+        // A float followed by an exponent-less `e` ident boundary.
+        assert_eq!(kinds("1.5 + 2")[0], (TokenKind::NumLit, "1.5"));
+    }
+
+    #[test]
+    fn comments_line_and_block() {
+        let toks = kinds("a // trailing unwrap()\nb /* x /* nested */ y */ c");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::LineComment, "// trailing unwrap()"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::BlockComment, "/* x /* nested */ y */"),
+                (TokenKind::Ident, "c"),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comment_line_spans() {
+        let toks = lex("/* a\nb\nc */ x").expect("lexes");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!((toks[0].line, toks[0].end_line), (1, 3));
+        assert_eq!((toks[1].text, toks[1].line), ("x", 3));
+    }
+
+    #[test]
+    fn strings_plain_raw_byte() {
+        assert_eq!(kinds(r#""has unwrap() inside""#)[0].0, TokenKind::StrLit);
+        assert_eq!(kinds(r##"r#"raw "quoted" body"#"##)[0].0, TokenKind::StrLit);
+        assert_eq!(kinds("r\"raw\"")[0].0, TokenKind::StrLit);
+        assert_eq!(kinds("b\"bytes\\\"esc\"")[0].0, TokenKind::StrLit);
+        assert_eq!(kinds("br#\"raw bytes\"#")[0].0, TokenKind::StrLit);
+        assert_eq!(kinds(r#""esc \" quote""#)[0].0, TokenKind::StrLit);
+        // The text of the literal is the full source form.
+        assert_eq!(kinds(r##"r#"a"#"##)[0].1, r##"r#"a"#"##);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'x'")[0], (TokenKind::CharLit, "'x'"));
+        assert_eq!(kinds(r"'\n'")[0], (TokenKind::CharLit, r"'\n'"));
+        assert_eq!(kinds(r"'\''")[0], (TokenKind::CharLit, r"'\''"));
+        assert_eq!(kinds("b'x'")[0], (TokenKind::CharLit, "b'x'"));
+        let toks = kinds("&'a str");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(kinds("<'static>")[1], (TokenKind::Lifetime, "'static"));
+        assert_eq!(kinds("'outer: loop")[0], (TokenKind::Lifetime, "'outer"));
+        // A char immediately followed by more tokens: `'e' =>`.
+        let toks = kinds("'e' => x");
+        assert_eq!(toks[0], (TokenKind::CharLit, "'e'"));
+    }
+
+    #[test]
+    fn raw_idents() {
+        assert_eq!(kinds("r#match")[0], (TokenKind::Ident, "r#match"));
+        // `r` alone is a plain ident.
+        assert_eq!(kinds("r + 1")[0], (TokenKind::Ident, "r"));
+    }
+
+    #[test]
+    fn unterminated_inputs_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("r#\"open").is_err());
+        assert!(lex("'\\").is_err());
+    }
+
+    #[test]
+    fn forbidden_words_inside_literals_are_not_idents() {
+        let src = r#"let s = "call .unwrap() and panic!"; // also unwrap()"#;
+        let idents: Vec<&str> = lex(src)
+            .expect("lexes")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+}

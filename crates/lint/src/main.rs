@@ -1,0 +1,96 @@
+//! `nsg-lint` CLI — runs the project-invariant gate over a workspace tree.
+//!
+//! ```text
+//! nsg-lint [--workspace] [--list-allows] [ROOT]
+//! ```
+//!
+//! * default / `--workspace`: lint every `.rs` file under ROOT (default `.`),
+//!   print `file:line: [rule] message` per finding, exit 1 if any.
+//! * `--list-allows`: print every `lint:allow` suppression in force with its
+//!   reason (for auditing drift), exit 0.
+//!
+//! The same engine backs `tests/lint_gate.rs`, so CI's `lint-gate` step and
+//! tier-1 can never disagree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut list_allows = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => {} // default (and only) scope; kept for clarity in CI
+            "--list-allows" => list_allows = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("nsg-lint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("nsg-lint: more than one ROOT argument");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match nsg_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nsg-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if list_allows {
+        for (path, allow) in &report.allows {
+            println!(
+                "{}:{}: [{}] {}",
+                path,
+                allow.comment_line,
+                allow.rules.join(", "),
+                allow.reason
+            );
+        }
+        println!("nsg-lint: {} suppression(s) in force", report.allows.len());
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "nsg-lint: {} file(s), 0 violations, {} suppression(s)",
+            report.files_scanned,
+            report.allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "nsg-lint: {} violation(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!("nsg-lint — project-invariant static-analysis gate");
+    println!();
+    println!("usage: nsg-lint [--workspace] [--list-allows] [ROOT]");
+    println!();
+    println!("rules:");
+    for rule in &nsg_lint::rules::RULES {
+        println!("  {:20} {}", rule.name, rule.summary);
+    }
+    println!();
+    println!("suppress a finding with `// lint:allow(<rule>): <reason>` (reason required);");
+    println!("mark a zero-allocation region with `// lint:hot-path` before its fn or block.");
+}

@@ -1,0 +1,87 @@
+//! Lexer torture: property tests that forbidden tokens embedded *inside*
+//! string literals, raw strings, char literals and (nested) comments never
+//! make a rule misfire, and that a real violation among such noise is still
+//! found on the right line.
+
+use nsg_lint::{lint_source, FileClass};
+use proptest::prelude::*;
+
+const LIB: &str = "crates/core/src/torture.rs";
+
+/// Single-line fragments that are saturated with forbidden spellings, every
+/// one of them quoted or commented away. Each must lint clean on its own.
+const BENIGN: &[&str] = &[
+    r#"let a = "call .unwrap() then panic!(now)";"#,
+    r##"let b = r#"raw "quoted" .expect("x") SearchParams::new(1,1)"#;"##,
+    r#"let c = b"std::sync::Mutex dyn Distance as u32";"#,
+    r#"let d = 'u'; let e = '\''; let f = b'\xFF';"#,
+    "// comment discussing x.unwrap() and std::thread::spawn",
+    "/* block with vec![0; 9] and Box::new(()) inside */",
+    "/* nested /* .collect() panic!(\"deep\") */ still comment */",
+    r#"let g = "escaped \" quote .to_vec() \" end";"#,
+    r#"let h: &str = "lifetime 'a vs char, unsafe { } in text";"#,
+    "let i = 0x4E53_4731u64; let j = 1.5e-3f32;",
+    r#"println!("{} {}", "expect(", "unwrap(");"#,
+    "let k = r\"raw with todo!() and unimplemented!()\";",
+];
+
+/// Joins fragments (one per line) into a compilable-looking fn body.
+fn assemble(lines: &[&str]) -> String {
+    let mut src = String::from("fn torture(x: Option<u32>) {\n");
+    for l in lines {
+        src.push_str(l);
+        src.push('\n');
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mix of literal/comment-quoted forbidden tokens yields zero
+    /// findings: the lexer must never leak them out as code idents.
+    #[test]
+    fn quoted_forbidden_tokens_never_fire(picks in proptest::collection::vec(0usize..BENIGN.len(), 0..24)) {
+        let lines: Vec<&str> = picks.iter().map(|&i| BENIGN[i]).collect();
+        let src = assemble(&lines);
+        let (findings, allows) = lint_source(LIB, &src, FileClass::Library);
+        prop_assert!(findings.is_empty(), "false positives on {src:?}: {findings:?}");
+        prop_assert!(allows.is_empty());
+    }
+
+    /// One real violation hidden among the noise is still found, exactly
+    /// once, on exactly the right line.
+    #[test]
+    fn real_violation_among_noise_is_located(
+        picks in proptest::collection::vec(0usize..BENIGN.len(), 1..16),
+        at in 0usize..16,
+    ) {
+        let mut lines: Vec<&str> = picks.iter().map(|&i| BENIGN[i]).collect();
+        let at = at % (lines.len() + 1);
+        lines.insert(at, "let v = x.unwrap();");
+        let src = assemble(&lines);
+        let (findings, _) = lint_source(LIB, &src, FileClass::Library);
+        prop_assert_eq!(findings.len(), 1, "want exactly one finding in {}: {:?}", src, findings);
+        prop_assert_eq!(findings[0].rule, "no-panic");
+        // Line 1 is the fn header; fragment i sits on line i + 2.
+        prop_assert_eq!(findings[0].line as usize, at + 2);
+    }
+}
+
+/// Multi-line literals and comments keep line accounting straight: a
+/// violation *after* them is still reported on its true source line.
+#[test]
+fn multiline_literals_keep_line_numbers_aligned() {
+    let src = "fn f(x: Option<u32>) {\n\
+               let a = \"line one\nline two\nline three\";\n\
+               /* block\nspanning\nlines */\n\
+               let b = r#\"raw\nmulti\"#;\n\
+               x.unwrap();\n\
+               }\n";
+    let (findings, _) = lint_source(LIB, src, FileClass::Library);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "no-panic");
+    // Header(1) + 3 string lines + 3 comment lines + 2 raw-string lines → 10.
+    assert_eq!(findings[0].line, 10);
+}

@@ -131,7 +131,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("nsg-serve-{i}"))
                     .spawn(move || worker_loop(rx, handle, metrics, max_batch))
-                    .expect("failed to spawn serving worker")
+                    .expect("failed to spawn serving worker") // lint:allow(no-panic): spawn failure at startup is unrecoverable, fail fast before serving begins
             })
             .collect();
         Self {

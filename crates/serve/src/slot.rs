@@ -110,6 +110,7 @@ impl ResponseSlot {
     }
 
     /// Copies the in-flight request's query into `buf` (worker side).
+    // lint:hot-path
     pub(crate) fn read_query_into(&self, buf: &mut Vec<f32>) {
         let state = self.lock();
         buf.clear();
@@ -118,6 +119,7 @@ impl ResponseSlot {
 
     /// Resolves the in-flight request with an answer (worker side): copies
     /// `results` into the slot and wakes the waiter.
+    // lint:hot-path
     pub(crate) fn complete_ok(
         &self,
         results: &[Neighbor],

@@ -68,6 +68,7 @@ pub(crate) fn worker_loop(
     }
 }
 
+// lint:hot-path
 fn serve_one(
     snapshot: &crate::handle::Snapshot,
     pinned: &mut PinnedContext,

@@ -120,7 +120,10 @@ impl VectorSet {
     #[inline]
     pub unsafe fn get_unchecked(&self, i: usize) -> &[f32] {
         let start = i * self.dim;
-        self.data.get_unchecked(start..start + self.dim)
+        debug_assert!(start + self.dim <= self.data.len());
+        // SAFETY: the caller guarantees `i < self.len()`, so the row's byte
+        // range lies inside the flat buffer by construction.
+        unsafe { self.data.get_unchecked(start..start + self.dim) }
     }
 
     /// The underlying flat row-major buffer.

@@ -93,7 +93,7 @@ pub fn exact_knn_single<D: Distance + ?Sized>(
         let cand = Scored { dist, id: i as u32 };
         if heap.len() < k {
             heap.push(cand);
-        } else if cand < *heap.peek().expect("non-empty heap") {
+        } else if heap.peek().is_some_and(|top| cand < *top) {
             heap.pop();
             heap.push(cand);
         }

@@ -130,11 +130,17 @@ pub fn read_ivecs_from<R: Read>(reader: R) -> Result<Vec<Vec<u32>>, IoError> {
                 IoError::Io(e)
             }
         })?;
-        rows.push(
-            buf.chunks_exact(4)
-                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u32)
-                .collect(),
-        );
+        // Components are signed on disk; a negative id (some tools use -1 as
+        // a sentinel) must fail loudly instead of wrapping to a huge u32.
+        let mut row = Vec::with_capacity(d);
+        for c in buf.chunks_exact(4) {
+            let raw = i32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            let id = u32::try_from(raw).map_err(|_| {
+                IoError::Format(format!("negative component {raw} in ivecs record {}", rows.len()))
+            })?;
+            row.push(id);
+        }
+        rows.push(row);
     }
     Ok(rows)
 }
@@ -148,9 +154,13 @@ pub fn read_ivecs<P: AsRef<Path>>(path: P) -> Result<Vec<Vec<u32>>, IoError> {
 pub fn write_ivecs_to<W: Write>(writer: W, rows: &[Vec<u32>]) -> Result<(), IoError> {
     let mut writer = BufWriter::new(writer);
     for row in rows {
-        writer.write_all(&(row.len() as i32).to_le_bytes())?;
+        let d = i32::try_from(row.len())
+            .map_err(|_| IoError::Format(format!("row of {} components overflows ivecs i32 dimension", row.len())))?;
+        writer.write_all(&d.to_le_bytes())?;
         for &x in row {
-            writer.write_all(&(x as i32).to_le_bytes())?;
+            let v = i32::try_from(x)
+                .map_err(|_| IoError::Format(format!("component {x} overflows ivecs i32 range")))?;
+            writer.write_all(&v.to_le_bytes())?;
         }
     }
     writer.flush()?;
@@ -220,6 +230,26 @@ mod tests {
         write_ivecs_to(&mut buf, &rows).unwrap();
         let back = read_ivecs_from(Cursor::new(buf)).unwrap();
         assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn negative_ivecs_component_is_an_error_not_a_wrap() {
+        // Regression: this used to silently narrow `-1i32 as u32` to
+        // 4294967295, poisoning recall accounting with a phantom id.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2i32.to_le_bytes());
+        buf.extend_from_slice(&7i32.to_le_bytes());
+        buf.extend_from_slice(&(-1i32).to_le_bytes());
+        let err = read_ivecs_from(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, IoError::Format(msg) if msg.contains("-1")));
+    }
+
+    #[test]
+    fn oversized_ivecs_component_fails_to_write() {
+        let rows = vec![vec![u32::MAX]];
+        let mut sink: Vec<u8> = Vec::new();
+        let err = write_ivecs_to(&mut sink, &rows).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
     }
 
     #[test]

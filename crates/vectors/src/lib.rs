@@ -28,6 +28,10 @@
 //!
 //! All randomized routines take explicit seeds so experiments are reproducible.
 
+// Every `unsafe` operation inside an `unsafe fn` must carry its own block
+// (and, per the lint gate's R4, its own SAFETY comment).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dataset;
 pub mod distance;
 pub mod ground_truth;

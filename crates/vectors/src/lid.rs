@@ -53,7 +53,7 @@ pub fn lid_from_distances(dists: &[f32]) -> Option<f64> {
     if dists.len() < 2 {
         return None;
     }
-    let r_k = f64::from(*dists.last().expect("non-empty"));
+    let r_k = f64::from(*dists.last()?);
     if r_k <= 0.0 {
         return None;
     }

@@ -85,7 +85,7 @@ pub fn recall_curve(precisions: &[f64], costs: &[f64]) -> Vec<CurvePoint> {
 pub fn cost_at_precision(curve: &[CurvePoint], target_precision: f64) -> Option<f64> {
     let mut sorted = curve.to_vec();
     sorted.sort_by(|a, b| a.precision.total_cmp(&b.precision));
-    if sorted.is_empty() || sorted.last().expect("non-empty").precision < target_precision {
+    if sorted.last()?.precision < target_precision {
         return None;
     }
     if sorted[0].precision >= target_precision {

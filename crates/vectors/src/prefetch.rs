@@ -84,6 +84,7 @@ fn prefetch_span(base: *const u8, bytes: usize) {
 ///
 /// Generic over [`VectorStore`](crate::store::VectorStore): flat stores pull
 /// `f32` rows, quantized stores their (4× smaller) code rows.
+// lint:hot-path
 pub fn lookahead_ids<'a, S: crate::store::VectorStore + ?Sized>(
     ids: &'a [u32],
     store: &'a S,

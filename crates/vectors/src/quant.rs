@@ -35,6 +35,7 @@ pub const SQ8_LEVELS: usize = 256;
 /// subtraction moved to the query side, so the per-candidate cost is one
 /// widening multiply-subtract-square per dimension over a 4× smaller stream.
 #[inline]
+// lint:hot-path
 pub fn sq8_asym_l2(t: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
     debug_assert_eq!(t.len(), codes.len());
     debug_assert_eq!(t.len(), scale.len());
@@ -74,6 +75,7 @@ pub fn sq8_asym_l2(t: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
 /// precomputed once per query (the `Σ qᵢ·minᵢ` constant is folded into the
 /// scratch bias). Same 8-lane accumulator shape as [`sq8_asym_l2`].
 #[inline]
+// lint:hot-path
 pub fn sq8_asym_dot(w: &[f32], codes: &[u8]) -> f32 {
     debug_assert_eq!(w.len(), codes.len());
     let mut acc = [0.0f32; 4];
@@ -104,6 +106,7 @@ pub fn sq8_asym_dot(w: &[f32], codes: &[u8]) -> f32 {
 /// byte. `tables` is the flat row-major layout (`width` entries per
 /// subspace) the IVFPQ index builds once per probed list.
 #[inline]
+// lint:hot-path
 pub fn adc_accumulate(tables: &[f32], width: usize, codes: &[u8]) -> f32 {
     debug_assert_eq!(tables.len(), width * codes.len());
     let mut d = 0.0f32;
@@ -172,6 +175,7 @@ impl Sq8VectorSet {
         for row in base.iter() {
             for ((&x, &lo), &s) in row.iter().zip(&min).zip(&scale) {
                 let code = if s > 0.0 {
+                    // lint:allow(checked-narrowing): clamped to 0..=255 on the previous step, cast cannot truncate
                     ((x - lo) / s).round().clamp(0.0, (SQ8_LEVELS - 1) as f32) as u8
                 } else {
                     0
@@ -317,6 +321,7 @@ impl VectorStore for Sq8VectorSet {
     }
 
     #[inline]
+    // lint:hot-path
     fn dist_to<D: Distance + ?Sized>(&self, metric: &D, scratch: &QueryScratch, id: usize) -> f32 {
         debug_assert_eq!(scratch.kind(), metric.kind(), "scratch prepared for a different metric");
         // For the concrete metric types `kind()` is a constant, so this match

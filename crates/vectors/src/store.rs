@@ -193,6 +193,7 @@ impl VectorStore for VectorSet {
     }
 
     #[inline]
+    // lint:hot-path
     fn dist_to<D: Distance + ?Sized>(&self, metric: &D, scratch: &QueryScratch, id: usize) -> f32 {
         debug_assert_eq!(scratch.kind(), metric.kind(), "scratch prepared for a different metric");
         metric.distance(scratch.prepared(), self.get(id))

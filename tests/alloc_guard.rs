@@ -46,19 +46,27 @@ impl CountingAllocator {
     }
 }
 
+// SAFETY: a pure pass-through to `System` plus side-effect-free counters;
+// every GlobalAlloc contract is upheld by forwarding arguments unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds the layout contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.count();
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds the layout/pointer contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow in place still reserves fresh capacity: count it.
         self.count();
+        // SAFETY: same pointer + layout the caller vouched for.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds the layout/pointer contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same pointer + layout the caller vouched for.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
