@@ -19,7 +19,7 @@
 //! sweep (CI smoke), `NSG_SERVE_CELL_MS` sets the measurement window per
 //! table cell (default 250ms small / 1000ms default).
 
-use nsg_bench::common::Scale;
+use nsg_bench::common::{json, output_dir, Scale};
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::nsg::{NsgIndex, NsgParams};
 use nsg_eval::report::{fmt_f64, Table};
@@ -184,6 +184,21 @@ fn fmt_us(d: Duration) -> String {
     format!("{:.1}", d.as_nanos() as f64 / 1000.0)
 }
 
+fn cell_json(cell: &Cell) -> String {
+    json::object(&[
+        ("workers", json::number(cell.workers as f64)),
+        ("mode", json::string(&cell.mode)),
+        (
+            "offered_qps",
+            cell.offered_qps.map_or_else(|| "null".to_string(), json::number),
+        ),
+        ("achieved_qps", json::number(cell.achieved_qps)),
+        ("p50_us", json::number(cell.p50.as_nanos() as f64 / 1000.0)),
+        ("p99_us", json::number(cell.p99.as_nanos() as f64 / 1000.0)),
+        ("rejection_rate", json::number(cell.rejection_rate)),
+    ])
+}
+
 fn main() {
     let scale = Scale::from_env();
     let window = cell_duration(scale);
@@ -222,6 +237,7 @@ fn main() {
         "p99_us",
         "rejected",
     ]);
+    let mut cell_docs: Vec<String> = Vec::new();
     for &workers in worker_counts {
         let closed = run_closed_loop(&index, &queries, &request, workers, window);
         let capacity = closed.achieved_qps.max(1.0);
@@ -238,6 +254,7 @@ fn main() {
             ));
         }
         for cell in cells {
+            cell_docs.push(cell_json(&cell));
             table.add_row(vec![
                 cell.workers.to_string(),
                 cell.mode.clone(),
@@ -255,4 +272,24 @@ fn main() {
          the measured closed-loop capacity. Past saturation the bounded queue caps queueing\n\
          delay and sheds the sustained excess as rejections."
     );
+
+    let doc = json::object(&[
+        ("experiment", json::string("serving_throughput")),
+        (
+            "scale",
+            json::string(match scale {
+                Scale::Small => "small",
+                Scale::Default => "default",
+            }),
+        ),
+        ("corpus", json::number(base.len() as f64)),
+        ("dim", json::number(base.dim() as f64)),
+        ("cell_ms", json::number(window.as_millis() as f64)),
+        ("cells", json::array(&cell_docs)),
+    ]);
+    let path = output_dir().join("BENCH_serving_throughput.json");
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
 }

@@ -63,6 +63,58 @@ pub fn output_dir() -> PathBuf {
     dir
 }
 
+/// Minimal JSON emission for the committed `BENCH_*.json` artifacts.
+///
+/// The offline build's serde shim strips the derives to no-ops, so the
+/// experiment binaries render their machine-readable summaries by hand.
+/// Values are pre-rendered JSON fragments: compose with [`json::object`] /
+/// [`json::array`] and render leaves with [`json::string`] /
+/// [`json::number`].
+pub mod json {
+    /// Renders a JSON string literal, escaping quotes, backslashes and
+    /// control characters.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Renders a finite number; NaN and infinities (unrepresentable in
+    /// JSON) become `null`.
+    pub fn number(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Renders an object from pre-rendered `(key, value)` fields, keys in
+    /// the given order.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> =
+            fields.iter().map(|(k, v)| format!("{}: {}", string(k), v)).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// Renders an array from pre-rendered elements.
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(", "))
+    }
+}
+
 /// A built graph-based index together with the pieces the tables report:
 /// its name, its graph view, its fixed entry point (if any) and its build
 /// time.
@@ -196,6 +248,19 @@ mod tests {
         assert!(matches!(s, Scale::Small | Scale::Default));
         assert!(Scale::Small.base_size() < Scale::Default.base_size());
         assert!(Scale::Small.query_size() < Scale::Default.query_size());
+    }
+
+    #[test]
+    fn json_fragments_compose_into_valid_documents() {
+        assert_eq!(json::string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json::number(0.25), "0.25");
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::number(f64::INFINITY), "null");
+        let doc = json::object(&[
+            ("name", json::string("nsg")),
+            ("points", json::array(&[json::number(1.0), json::number(2.5)])),
+        ]);
+        assert_eq!(doc, "{\"name\": \"nsg\", \"points\": [1, 2.5]}");
     }
 
     #[test]

@@ -137,6 +137,14 @@ impl DirectedGraph {
         self.adjacency[v as usize].len()
     }
 
+    /// Appends an isolated node, growing the graph by one, and returns its
+    /// id. The delta layer (`nsg_core::delta`) grows its incrementally built
+    /// graph this way, one node per insertion.
+    pub fn push_node(&mut self) -> u32 {
+        self.adjacency.push(Vec::new());
+        (self.adjacency.len() - 1) as u32
+    }
+
     /// Adds the directed edge `from -> to` if it is not already present.
     /// Returns `true` when the edge was inserted.
     ///

@@ -9,6 +9,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod context;
+pub mod delta;
 pub mod graph;
 pub mod index;
 pub mod mrng;
@@ -20,6 +21,9 @@ pub mod sharded;
 pub mod stats;
 
 pub use context::SearchContext;
+pub use delta::{
+    CompactedPair, DeltaConfig, DeltaStats, MutableAnnIndex, MutableIndex, MutateError, Tombstones,
+};
 pub use graph::{CompactGraph, DirectedGraph, GraphView};
 pub use index::{AnnIndex, SearchQuality, SearchRequest};
 pub use mrng::{build_mrng, build_rng_graph, MrngParams};

@@ -33,6 +33,13 @@ pub enum ServeError {
     /// resolved this request with this error, and kept serving — a client is
     /// never left waiting on a request a panic swallowed.
     WorkerPanicked,
+    /// An insert/delete was submitted to a server that was not started with
+    /// [`Server::start_mutable`](crate::server::Server::start_mutable) —
+    /// a frozen index has no mutation path.
+    NotMutable,
+    /// The index refused the mutation: the vector's dimension did not match
+    /// the index, or the sealed-successor handover could not be completed.
+    MutationRejected,
 }
 
 impl fmt::Display for ServeError {
@@ -45,6 +52,8 @@ impl fmt::Display for ServeError {
             ServeError::NotSubmitted => "no submitted request to wait for",
             ServeError::WaitTimeout => "timed out waiting for the response",
             ServeError::WorkerPanicked => "the search panicked on the worker thread",
+            ServeError::NotMutable => "server is not serving a mutable index",
+            ServeError::MutationRejected => "the index refused the mutation",
         };
         f.write_str(msg)
     }
@@ -68,6 +77,8 @@ mod tests {
             ServeError::NotSubmitted,
             ServeError::WaitTimeout,
             ServeError::WorkerPanicked,
+            ServeError::NotMutable,
+            ServeError::MutationRejected,
         ] {
             assert!(!e.to_string().is_empty());
         }

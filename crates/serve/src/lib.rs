@@ -19,8 +19,13 @@
 //!   warm buffers keep the steady-state round trip allocation-free on both
 //!   sides.
 //! * [`metrics`] — [`ServerMetrics`]: fixed-bucket latency histogram
-//!   (p50/p90/p99), QPS, rejection/deadline counters and mean distance
-//!   computations per query.
+//!   (p50/p90/p99), QPS, rejection/deadline counters, mutation/compaction
+//!   tallies and mean distance computations per query.
+//! * [`mutation`] — [`MutationPolicy`]: live inserts/deletes against a
+//!   [`MutableAnnIndex`](nsg_core::delta::MutableAnnIndex) served behind the
+//!   same queue ([`Server::start_mutable`]), with threshold-triggered
+//!   compaction that rebuilds the frozen base and swaps it in behind
+//!   traffic.
 //! * [`error`] — [`ServeError`]: every failure mode, typed.
 //!
 //! Workers pin one search context each via the same
@@ -73,6 +78,7 @@
 pub mod error;
 pub mod handle;
 pub mod metrics;
+pub mod mutation;
 pub mod server;
 pub mod slot;
 mod worker;
@@ -80,5 +86,6 @@ mod worker;
 pub use error::ServeError;
 pub use handle::{IndexHandle, Snapshot};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use mutation::MutationPolicy;
 pub use server::{Server, ServerConfig};
 pub use slot::{ResponseGuard, ResponseSlot};

@@ -124,10 +124,17 @@ impl LatencyHistogram {
 /// Shared by every worker; all recording is atomic.
 pub struct ServerMetrics {
     latency: LatencyHistogram,
+    /// End-to-end insert/delete latencies, kept out of the query histogram
+    /// so mutations never distort the query SLO percentiles.
+    mutation_latency: LatencyHistogram,
     completed: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
     failed: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    compactions: AtomicU64,
+    compaction_nanos: AtomicU64,
     distance_computations: AtomicU64,
     started: Instant,
 }
@@ -137,10 +144,15 @@ impl ServerMetrics {
     pub fn new() -> Self {
         Self {
             latency: LatencyHistogram::new(),
+            mutation_latency: LatencyHistogram::new(),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compaction_nanos: AtomicU64::new(0),
             distance_computations: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -168,6 +180,30 @@ impl ServerMetrics {
     /// worker (the request resolved to `WorkerPanicked`).
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one applied insert (worker side).
+    pub fn record_insert(&self, latency: Duration) {
+        self.mutation_latency.record(latency);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one acknowledged delete (worker side).
+    pub fn record_delete(&self, latency: Duration) {
+        self.mutation_latency.record(latency);
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed compaction and its wall time.
+    pub fn record_compaction(&self, wall: Duration) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compaction_nanos
+            .fetch_add(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The read side of the insert/delete latency histogram.
+    pub fn mutation_latency(&self) -> &LatencyHistogram {
+        &self.mutation_latency
     }
 
     /// Number of admission rejections so far.
@@ -200,6 +236,12 @@ impl ServerMetrics {
             p90: self.latency.quantile(0.90),
             p99: self.latency.quantile(0.99),
             mean_latency: self.latency.mean(),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_time: Duration::from_nanos(self.compaction_nanos.load(Ordering::Relaxed)),
+            mutation_p50: self.mutation_latency.quantile(0.50),
+            mutation_p99: self.mutation_latency.quantile(0.99),
             mean_distance_computations: if completed == 0 {
                 0.0
             } else {
@@ -239,6 +281,18 @@ pub struct MetricsSnapshot {
     pub p99: Duration,
     /// Mean end-to-end latency (exact, not bucketed).
     pub mean_latency: Duration,
+    /// Inserts applied by the delta layer.
+    pub inserts: u64,
+    /// Deletes acknowledged (tombstoned or confirmed-absent).
+    pub deletes: u64,
+    /// Compactions that rebuilt the base and swapped it behind traffic.
+    pub compactions: u64,
+    /// Total wall time spent compacting.
+    pub compaction_time: Duration,
+    /// Median end-to-end insert/delete latency.
+    pub mutation_p50: Duration,
+    /// 99th-percentile end-to-end insert/delete latency.
+    pub mutation_p99: Duration,
     /// Mean distance computations per completed query.
     pub mean_distance_computations: f64,
 }
@@ -275,7 +329,20 @@ impl std::fmt::Display for MetricsSnapshot {
             self.expired,
             self.failed,
             self.mean_distance_computations,
-        )
+        )?;
+        if self.inserts + self.deletes + self.compactions > 0 {
+            write!(
+                f,
+                " | {} ins, {} del (p50 {} p99 {}), {} compactions ({:.1}ms)",
+                self.inserts,
+                self.deletes,
+                fmt_us(self.mutation_p50),
+                fmt_us(self.mutation_p99),
+                self.compactions,
+                self.compaction_time.as_secs_f64() * 1e3,
+            )?;
+        }
+        Ok(())
     }
 }
 

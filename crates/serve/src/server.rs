@@ -18,9 +18,11 @@
 use crate::error::ServeError;
 use crate::handle::IndexHandle;
 use crate::metrics::ServerMetrics;
+use crate::mutation::{MutationPolicy, MutationRuntime};
 use crate::slot::ResponseSlot;
 use crate::worker::worker_loop;
 use crossbeam_channel::{bounded, Sender, TrySendError};
+use nsg_core::delta::{DeltaStats, MutableAnnIndex};
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use std::sync::Arc;
@@ -83,11 +85,24 @@ impl ServerConfig {
     }
 }
 
+/// What a queued job asks the worker to do. Mutations ride the same bounded
+/// admission queue as queries — one backpressure boundary for all traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobKind {
+    /// Answer the query carried in the slot's query buffer.
+    Query,
+    /// Insert the vector carried in the slot's query buffer.
+    Insert,
+    /// Tombstone this id.
+    Delete(u32),
+}
+
 /// One queued request: the client's slot (carrying the query and receiving
 /// the answer), the request description, and its timing.
 pub(crate) struct Job {
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) request: SearchRequest,
+    pub(crate) kind: JobKind,
     pub(crate) deadline: Option<Instant>,
     pub(crate) enqueued: Instant,
 }
@@ -96,6 +111,9 @@ pub(crate) struct Job {
 pub struct Server {
     handle: Arc<IndexHandle>,
     metrics: Arc<ServerMetrics>,
+    /// `Some` when the server was started over a mutable index
+    /// ([`start_mutable`](Self::start_mutable)) and accepts inserts/deletes.
+    mutation: Option<Arc<MutationRuntime>>,
     /// `None` once shutdown began (the queue's send side is closed).
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
@@ -112,6 +130,33 @@ impl Server {
     /// Starts a server over an existing hot-swap handle (shared with the
     /// re-indexing side that calls [`IndexHandle::swap`]).
     pub fn with_handle(handle: Arc<IndexHandle>, config: ServerConfig) -> Self {
+        Self::start_inner(handle, config, None)
+    }
+
+    /// Starts a server over a **mutable** index: queries are served from the
+    /// merged base+delta view, and [`submit_insert`](Self::submit_insert) /
+    /// [`submit_delete`](Self::submit_delete) route through the same worker
+    /// pool. After every applied mutation the worker checks `policy`; when a
+    /// threshold trips, it compacts the delta into a fresh frozen base and
+    /// installs it behind live traffic via [`IndexHandle::swap`].
+    pub fn start_mutable<M>(index: Arc<M>, config: ServerConfig, policy: MutationPolicy) -> Self
+    where
+        M: MutableAnnIndex + 'static,
+    {
+        let queryable: Arc<dyn AnnIndex> = Arc::clone(&index) as Arc<dyn AnnIndex>;
+        let mutable: Arc<dyn MutableAnnIndex> = index;
+        Self::start_inner(
+            Arc::new(IndexHandle::new(queryable)),
+            config,
+            Some(Arc::new(MutationRuntime::new(mutable, policy))),
+        )
+    }
+
+    fn start_inner(
+        handle: Arc<IndexHandle>,
+        config: ServerConfig,
+        mutation: Option<Arc<MutationRuntime>>,
+    ) -> Self {
         // Clamp once and keep the clamped values: `Server::config` must
         // report the configuration the server actually runs with.
         let config = ServerConfig {
@@ -128,15 +173,17 @@ impl Server {
                 let rx = rx.clone();
                 let handle = Arc::clone(&handle);
                 let metrics = Arc::clone(&metrics);
+                let mutation = mutation.clone();
                 std::thread::Builder::new()
                     .name(format!("nsg-serve-{i}"))
-                    .spawn(move || worker_loop(rx, handle, metrics, max_batch))
+                    .spawn(move || worker_loop(rx, handle, metrics, max_batch, mutation))
                     .expect("failed to spawn serving worker") // lint:allow(no-panic): spawn failure at startup is unrecoverable, fail fast before serving begins
             })
             .collect();
         Self {
             handle,
             metrics,
+            mutation,
             tx: Some(tx),
             workers: threads,
             config,
@@ -168,6 +215,7 @@ impl Server {
         slot: &Arc<ResponseSlot>,
         query: &[f32],
         request: &SearchRequest,
+        kind: JobKind,
         deadline: Option<Duration>,
         blocking: bool,
     ) -> Result<(), ServeError> {
@@ -179,6 +227,7 @@ impl Server {
         let job = Job {
             slot: Arc::clone(slot),
             request: *request,
+            kind,
             deadline: deadline.map(|d| enqueued + d),
             enqueued,
         };
@@ -216,7 +265,7 @@ impl Server {
         request: &SearchRequest,
         deadline: Option<Duration>,
     ) -> Result<(), ServeError> {
-        self.submit_impl(slot, query, request, deadline, false)
+        self.submit_impl(slot, query, request, JobKind::Query, deadline, false)
     }
 
     /// Submits a query through `slot`, **blocking** while the queue is full —
@@ -229,7 +278,7 @@ impl Server {
         request: &SearchRequest,
         deadline: Option<Duration>,
     ) -> Result<(), ServeError> {
-        self.submit_impl(slot, query, request, deadline, true)
+        self.submit_impl(slot, query, request, JobKind::Query, deadline, true)
     }
 
     /// One-off convenience: submits on a fresh slot, blocks for the answer,
@@ -244,6 +293,66 @@ impl Server {
         self.submit(&slot, query, request, None)?;
         let response = slot.wait()?;
         Ok(response.neighbors().to_vec())
+    }
+
+    /// Submits an insert through `slot`, blocking while the queue is full.
+    /// The vector rides in the slot's warm query buffer; the worker applies
+    /// it to the delta layer and resolves the slot with a mutation
+    /// acknowledgement ([`ResponseGuard::mutation`](crate::slot::ResponseGuard::mutation)
+    /// carries the assigned id). Fails with [`ServeError::NotMutable`] on a
+    /// server not started with [`start_mutable`](Self::start_mutable).
+    pub fn submit_insert(
+        &self,
+        slot: &Arc<ResponseSlot>,
+        vector: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<(), ServeError> {
+        if self.mutation.is_none() {
+            return Err(ServeError::NotMutable);
+        }
+        self.submit_impl(slot, vector, &SearchRequest::new(1), JobKind::Insert, deadline, true)
+    }
+
+    /// Submits a delete (tombstone) of `id` through `slot`, blocking while
+    /// the queue is full. The acknowledgement's `applied` flag reports
+    /// whether the id was live (`false` for an id already deleted or out of
+    /// range). Fails with [`ServeError::NotMutable`] on a server not started
+    /// with [`start_mutable`](Self::start_mutable).
+    pub fn submit_delete(
+        &self,
+        slot: &Arc<ResponseSlot>,
+        id: u32,
+        deadline: Option<Duration>,
+    ) -> Result<(), ServeError> {
+        if self.mutation.is_none() {
+            return Err(ServeError::NotMutable);
+        }
+        self.submit_impl(slot, &[], &SearchRequest::new(1), JobKind::Delete(id), deadline, true)
+    }
+
+    /// One-off convenience: inserts `vector` and blocks for its assigned id.
+    /// Allocates per call — writer loops should hold a slot and use
+    /// [`submit_insert`](Self::submit_insert) + `wait` instead.
+    pub fn insert_blocking(&self, vector: &[f32]) -> Result<u32, ServeError> {
+        let slot = Arc::new(ResponseSlot::new());
+        self.submit_insert(&slot, vector, None)?;
+        let response = slot.wait()?;
+        response.mutation().map(|(id, _)| id).ok_or(ServeError::MutationRejected)
+    }
+
+    /// One-off convenience: deletes `id` and blocks for whether the delete
+    /// took effect (see [`submit_delete`](Self::submit_delete)).
+    pub fn delete_blocking(&self, id: u32) -> Result<bool, ServeError> {
+        let slot = Arc::new(ResponseSlot::new());
+        self.submit_delete(&slot, id, None)?;
+        let response = slot.wait()?;
+        response.mutation().map(|(_, applied)| applied).ok_or(ServeError::MutationRejected)
+    }
+
+    /// Delta-layer statistics of the served mutable index (`None` on a
+    /// query-only server).
+    pub fn delta_stats(&self) -> Option<DeltaStats> {
+        self.mutation.as_ref().map(|m| m.load().delta_stats())
     }
 
     /// Stops accepting new requests, serves everything already accepted, and
@@ -274,7 +383,12 @@ impl Drop for Server {
 mod tests {
     use super::*;
     use nsg_core::context::SearchContext;
+    use nsg_core::delta::MutableIndex;
     use nsg_core::neighbor;
+    use nsg_core::nsg::{NsgIndex, NsgParams};
+    use nsg_knn::NnDescentParams;
+    use nsg_vectors::distance::SquaredEuclidean;
+    use nsg_vectors::synthetic::uniform;
 
     /// Deterministic toy index: neighbor ids count up from the floor of the
     /// query's first coordinate.
@@ -441,6 +555,96 @@ mod tests {
         let response = slot.wait_timeout(Duration::from_secs(30)).unwrap();
         assert_eq!(neighbor::ids(response.neighbors()), vec![3, 4]);
         drop(response);
+        server.shutdown();
+    }
+
+    fn small_mutable(size: usize, seed: u64) -> Arc<MutableIndex<SquaredEuclidean>> {
+        let base = Arc::new(uniform(size, 8, seed));
+        let frozen = NsgIndex::build(
+            base,
+            SquaredEuclidean,
+            NsgParams {
+                build_pool_size: 20,
+                max_degree: 12,
+                knn: NnDescentParams { k: 12, ..Default::default() },
+                reverse_insert: true,
+                seed,
+            },
+        );
+        Arc::new(MutableIndex::new(frozen))
+    }
+
+    #[test]
+    fn mutations_on_a_query_only_server_are_rejected() {
+        let server = echo_server(1);
+        assert_eq!(server.insert_blocking(&[0.0; 8]).err(), Some(ServeError::NotMutable));
+        assert_eq!(server.delete_blocking(3).err(), Some(ServeError::NotMutable));
+        assert!(server.delta_stats().is_none());
+        // Queries still fine on the same server.
+        assert_eq!(server.search_blocking(&[0.0], &SearchRequest::new(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip_through_the_worker_pool() {
+        let index = small_mutable(120, 5);
+        let server =
+            Server::start_mutable(index, ServerConfig::with_workers(2), MutationPolicy::never());
+        let vector = [9.0f32; 8];
+        let id = server.insert_blocking(&vector).unwrap();
+        assert_eq!(id, 120);
+        // The inserted point is findable through the served merged view.
+        let hits = server
+            .search_blocking(&vector, &SearchRequest::new(1).with_effort(60))
+            .unwrap();
+        assert_eq!(hits[0].id, id);
+        assert_eq!(hits[0].dist, 0.0);
+        // Delete it: applied once, then an acknowledged no-op.
+        assert!(server.delete_blocking(id).unwrap());
+        assert!(!server.delete_blocking(id).unwrap());
+        let gone = server
+            .search_blocking(&vector, &SearchRequest::new(1).with_effort(60))
+            .unwrap();
+        assert_ne!(gone[0].id, id);
+        // A dimension mismatch is a typed rejection, not a hang.
+        assert_eq!(server.insert_blocking(&[1.0; 3]).err(), Some(ServeError::MutationRejected));
+        let stats = server.delta_stats().unwrap();
+        assert_eq!(stats.delta_len, 1);
+        assert_eq!(stats.tombstones, 1);
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.deletes, 2);
+        assert_eq!(snap.compactions, 0);
+        assert_eq!(snap.failed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn compaction_trigger_swaps_a_fresh_base_behind_traffic() {
+        let index = small_mutable(100, 6);
+        let policy = MutationPolicy::default().min_mutations(4).max_delta_fraction(0.05);
+        let server = Server::start_mutable(index, ServerConfig::with_workers(2), policy);
+        let slot = Arc::new(ResponseSlot::new());
+        for i in 0..12u32 {
+            server.submit_insert(&slot, &[i as f32; 8], None).unwrap();
+            let response = slot.wait().unwrap();
+            assert!(response.mutation().unwrap().1);
+        }
+        // The tipping mutation's response completes *before* the rebuild, so
+        // the compaction lands asynchronously — poll for it.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while server.metrics().snapshot().compactions == 0 {
+            assert!(Instant::now() < deadline, "threshold policy never compacted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let snap = server.metrics().snapshot();
+        assert!(snap.compaction_time > Duration::ZERO);
+        assert!(server.handle().generation() >= 1, "compaction must swap the query view");
+        // Nothing was lost across the handover: every insert — gathered or
+        // replayed — is live, and mutations keep landing on the successor.
+        let stats = server.delta_stats().unwrap();
+        assert_eq!(stats.live(), 112);
+        let id = server.insert_blocking(&[50.0; 8]).unwrap();
+        assert!(server.delete_blocking(id).unwrap());
         server.shutdown();
     }
 

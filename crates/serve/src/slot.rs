@@ -139,6 +139,23 @@ impl ResponseSlot {
         self.ready.notify_all();
     }
 
+    /// Resolves an in-flight **mutation** (worker side). The acknowledgement
+    /// reuses the warm result buffer: one `Neighbor` whose id is the
+    /// assigned/target id and whose distance encodes whether the mutation
+    /// took effect (`0.0` applied, `1.0` acknowledged no-op — e.g. deleting
+    /// an id that was already gone). Read it back with
+    /// [`ResponseGuard::mutation`].
+    pub(crate) fn complete_mutation(
+        &self,
+        id: u32,
+        applied: bool,
+        generation: u64,
+        latency: Duration,
+    ) {
+        let ack = [Neighbor::new(id, if applied { 0.0 } else { 1.0 })];
+        self.complete_ok(&ack, SearchStats::default(), generation, latency);
+    }
+
     /// Resolves the in-flight request with a failure (worker side).
     pub(crate) fn complete_err(&self, err: ServeError, latency: Duration) {
         let mut state = self.lock();
@@ -229,6 +246,17 @@ impl ResponseGuard<'_> {
     /// End-to-end latency: submission (enqueue) to completion.
     pub fn latency(&self) -> Duration {
         self.state.latency
+    }
+
+    /// For a mutation acknowledgement: the `(id, applied)` pair — the
+    /// assigned id of an insert (or target id of a delete) and whether the
+    /// mutation took effect. `None` when the response does not carry a
+    /// mutation acknowledgement's single-entry shape.
+    pub fn mutation(&self) -> Option<(u32, bool)> {
+        match self.state.results.as_slice() {
+            [ack] => Some((ack.id, ack.dist == 0.0)),
+            _ => None,
+        }
     }
 }
 

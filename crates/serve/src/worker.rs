@@ -18,13 +18,22 @@
 
 use crate::handle::IndexHandle;
 use crate::metrics::ServerMetrics;
-use crate::server::Job;
+use crate::mutation::MutationRuntime;
+use crate::server::{Job, JobKind};
 use crate::ServeError;
 use crossbeam_channel::Receiver;
 use nsg_core::context::PinnedContext;
+use nsg_core::delta::MutateError;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How often a worker reloads the mutation cell and retries when the index
+/// answers `Sealed`. The sealed window only exists between `compact_sealed`
+/// returning and the successor landing in the cell — microseconds — so this
+/// bound is pure livelock insurance (e.g. against a compaction that
+/// panicked after sealing).
+const SEAL_RETRIES: usize = 1024;
 
 /// Runs one worker until every sender is gone **and** the queue is drained
 /// (accepted work is never dropped by shutdown).
@@ -33,6 +42,7 @@ pub(crate) fn worker_loop(
     handle: Arc<IndexHandle>,
     metrics: Arc<ServerMetrics>,
     max_batch: usize,
+    mutation: Option<Arc<MutationRuntime>>,
 ) {
     let mut pinned = PinnedContext::new();
     let mut query = Vec::new();
@@ -57,13 +67,76 @@ pub(crate) fn worker_loop(
             // a concurrent `begin` would have been refused with `SlotBusy`.
             let slot = Arc::clone(&job.slot);
             let enqueued = job.enqueued;
-            let served = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                serve_one(&snapshot, &mut pinned, &mut query, &metrics, job)
+            let served = std::panic::catch_unwind(AssertUnwindSafe(|| match job.kind {
+                JobKind::Query => serve_one(&snapshot, &mut pinned, &mut query, &metrics, job),
+                JobKind::Insert | JobKind::Delete(_) => {
+                    serve_mutation(mutation.as_deref(), &handle, &mut query, &metrics, job)
+                }
             }));
             if served.is_err() {
                 metrics.record_failed();
                 slot.complete_err(ServeError::WorkerPanicked, enqueued.elapsed());
             }
+        }
+    }
+}
+
+/// Applies one insert/delete to the mutation cell's current index, retrying
+/// through the sealed handover window of a concurrent compaction, then runs
+/// the compaction trigger itself. The acknowledgement is completed *before*
+/// any compaction this mutation tips over, so compaction wall time never
+/// shows up as mutation latency.
+fn serve_mutation(
+    runtime: Option<&MutationRuntime>,
+    handle: &IndexHandle,
+    query: &mut Vec<f32>,
+    metrics: &ServerMetrics,
+    job: Job,
+) {
+    let Some(runtime) = runtime else {
+        // Submission normally rejects this earlier; kept as a worker-side
+        // backstop so a mutation job can never hang a query-only server.
+        job.slot.complete_err(ServeError::NotMutable, job.enqueued.elapsed());
+        return;
+    };
+    let now = Instant::now();
+    if let Some(deadline) = job.deadline {
+        if now > deadline {
+            metrics.record_expired();
+            job.slot
+                .complete_err(ServeError::DeadlineExceeded, now - job.enqueued);
+            return;
+        }
+    }
+    job.slot.read_query_into(query);
+    let mut outcome = Err(MutateError::Sealed);
+    for _ in 0..SEAL_RETRIES {
+        let index = runtime.load();
+        outcome = match job.kind {
+            JobKind::Delete(id) => index.delete(id).map(|applied| (id, applied)),
+            // Insert; `Query` jobs never reach this function.
+            _ => index.insert(query).map(|id| (id, true)),
+        };
+        match outcome {
+            // The compaction that sealed this index installs its successor
+            // momentarily; reload the cell and re-apply there.
+            Err(MutateError::Sealed) => std::thread::yield_now(),
+            _ => break,
+        }
+    }
+    let latency = job.enqueued.elapsed();
+    match outcome {
+        Ok((id, applied)) => {
+            match job.kind {
+                JobKind::Delete(_) => metrics.record_delete(latency),
+                _ => metrics.record_insert(latency),
+            }
+            job.slot.complete_mutation(id, applied, handle.generation(), latency);
+            runtime.maybe_compact(handle, metrics);
+        }
+        Err(_) => {
+            metrics.record_failed();
+            job.slot.complete_err(ServeError::MutationRejected, latency);
         }
     }
 }

@@ -79,6 +79,9 @@ pub mod prelude {
         NsgNaiveIndex, NswIndex, SerialScan,
     };
     pub use nsg_core::context::{PinnedContext, SearchContext};
+    pub use nsg_core::delta::{
+        CompactedPair, DeltaConfig, DeltaStats, MutableAnnIndex, MutableIndex, MutateError,
+    };
     pub use nsg_core::graph::{CompactGraph, DirectedGraph, GraphView};
     pub use nsg_core::index::{AnnIndex, SearchQuality, SearchRequest};
     pub use nsg_core::neighbor::{self, Neighbor};
@@ -87,8 +90,8 @@ pub mod prelude {
     pub use nsg_core::sharded::ShardedNsg;
     pub use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
     pub use nsg_serve::{
-        IndexHandle, MetricsSnapshot, ResponseSlot, ServeError, Server, ServerConfig,
-        ServerMetrics,
+        IndexHandle, MetricsSnapshot, MutationPolicy, ResponseSlot, ServeError, Server,
+        ServerConfig, ServerMetrics,
     };
     pub use nsg_vectors::distance::{Distance, Euclidean, InnerProduct, SquaredEuclidean};
     pub use nsg_vectors::ground_truth::exact_knn;

@@ -144,6 +144,75 @@ fn nsg_search_into_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn merged_delta_search_is_allocation_free_after_warmup() {
+    // The live-mutation form of the guard: the merged query path — Algorithm
+    // 1 on the frozen base, the same loop on the delta graph seeded from
+    // anchors and salted random entries, the sorted merge, and
+    // tombstone-filtered extraction — must be zero-allocation once warm,
+    // with a non-empty delta layer AND live tombstones on both sides.
+    // Mutations may allocate; the mutate-free query path must not.
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1500, 40, 23);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 50,
+            max_degree: 24,
+            knn: NnDescentParams { k: 36, ..Default::default() },
+            reverse_insert: true,
+            seed: 5,
+        },
+    );
+    let mutable = MutableIndex::new(index);
+    // Grow a real delta layer and tombstone base and delta ids alike, so the
+    // counted batch runs every phase: anchor seeding, the delta traversal,
+    // the merge, and the tombstone filter.
+    let extra = nsg::vectors::synthetic::uniform(120, base.dim(), 99);
+    for i in 0..extra.len() {
+        mutable.insert(extra.get(i)).unwrap();
+    }
+    for id in [3u32, 77, 500, 1400, 1501, 1555, 1600] {
+        assert!(mutable.delete(id).unwrap());
+    }
+    let stats = mutable.delta_stats();
+    assert_eq!(stats.delta_len, 120);
+    assert_eq!(stats.tombstones, 7);
+
+    let request = SearchRequest::new(10).with_effort(100).with_stats();
+    let mut ctx = mutable.new_context();
+    // Warm-up runs the full batch once: unlike the base-only path (whose
+    // buffer sizes depend only on the search params), the merged path's
+    // entry buffer grows with each query's anchor fan-out, so the high-water
+    // mark is only reached after every query has been seen.
+    for q in 0..queries.len() {
+        let hits = mutable.search_into(&mut ctx, &request, queries.get(q));
+        assert_eq!(hits.len(), 10);
+    }
+
+    let allocations = count_allocations(|| {
+        for q in 0..queries.len() {
+            let hits = mutable.search_into(&mut ctx, &request, queries.get(q));
+            assert_eq!(hits.len(), 10);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "merged base+delta+tombstone search_into allocated {allocations} times across {} queries after warm-up",
+        queries.len()
+    );
+
+    // Sanity half: a cold context must be observed allocating, or the zero
+    // above is vacuous.
+    let cold = count_allocations(|| {
+        let mut fresh = mutable.new_context();
+        let _ = mutable.search_into(&mut fresh, &request, queries.get(0));
+    });
+    assert!(cold > 0, "tracking allocator failed to observe cold-context allocations");
+}
+
+#[test]
 fn quantized_two_phase_search_is_allocation_free_after_warmup() {
     // The VectorStore-refactor form of the guard: traversal on SQ8 codes
     // (whose per-query preparation must reuse the context's query scratch,

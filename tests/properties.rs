@@ -245,6 +245,40 @@ proptest! {
         prop_assert_eq!(back, base);
     }
 
+    /// With an empty delta layer and no tombstones, the mutable wrapper's
+    /// merged search takes the frozen fast path: every query returns results
+    /// **byte-identical** (same ids, same distance bit patterns) to the
+    /// frozen index it wraps — wrapping a serving index in [`MutableIndex`]
+    /// before any mutation arrives changes nothing observable.
+    #[test]
+    fn empty_delta_mutable_search_is_byte_identical_to_frozen(base in point_set()) {
+        let params = NsgParams {
+            build_pool_size: 16,
+            max_degree: 8,
+            knn: NnDescentParams { k: 8, ..Default::default() },
+            reverse_insert: true,
+            seed: 5,
+        };
+        let frozen = NsgIndex::build(std::sync::Arc::new(base.clone()), SquaredEuclidean, params);
+        let request = SearchRequest::new(5).with_effort(24);
+        let mut ctx = frozen.new_context();
+        let expected: Vec<Vec<Neighbor>> = (0..base.len())
+            .map(|q| frozen.search_into(&mut ctx, &request, base.get(q)).to_vec())
+            .collect();
+        let mutable = MutableIndex::new(frozen);
+        prop_assert_eq!(mutable.delta_stats().delta_len, 0);
+        prop_assert_eq!(mutable.delta_stats().tombstones, 0);
+        let mut ctx = mutable.new_context();
+        for (q, exp) in expected.iter().enumerate() {
+            let got = mutable.search_into(&mut ctx, &request, base.get(q));
+            prop_assert_eq!(got.len(), exp.len(), "query {}", q);
+            for (i, (g, e)) in got.iter().zip(exp).enumerate() {
+                prop_assert_eq!(g.id, e.id, "query {} rank {}", q, i);
+                prop_assert_eq!(g.dist.to_bits(), e.dist.to_bits(), "query {} rank {}", q, i);
+            }
+        }
+    }
+
     /// Exact k-NN ground truth is symmetric in the metric: the reported
     /// distances match recomputation and are sorted.
     #[test]
