@@ -9,6 +9,7 @@
 //! slower, and typically faster, than the nested build-time layout.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_bench::common::output_dir;
 use nsg_core::context::SearchContext;
 use nsg_core::nsg::{NsgIndex, NsgParams};
 use nsg_core::search::{search_on_graph_into, SearchParams};
@@ -78,6 +79,57 @@ fn bench_layouts(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Registry-snapshot emission: a short measured pass over the same two
+    // layouts publishes per-query latencies into the global `nsg-obs`
+    // registry — which already holds the `nsg_build_*` phase counters the
+    // index build above published — and the whole registry is written as
+    // `BENCH_csr_traversal.json`.
+    let obs = nsg_obs::global();
+    let mut ctx = SearchContext::for_points(base.len());
+    for (name, hist) in [
+        ("csr_traversal_nested_vec", obs.histogram("csr_traversal_nested_vec")),
+        ("csr_traversal_csr", obs.histogram("csr_traversal_csr")),
+    ] {
+        let dc = obs.counter(&format!("{name}_distance_computations"));
+        for qi in 0..queries.len() {
+            let started = std::time::Instant::now();
+            let params = SearchParams::new(100, 10);
+            let found = if name == "csr_traversal_csr" {
+                search_on_graph_into(
+                    frozen,
+                    &base,
+                    queries.get(qi),
+                    &[nav],
+                    params,
+                    &SquaredEuclidean,
+                    &mut ctx,
+                )
+                .len()
+            } else {
+                search_on_graph_into(
+                    &nested,
+                    &base,
+                    queries.get(qi),
+                    &[nav],
+                    params,
+                    &SquaredEuclidean,
+                    &mut ctx,
+                )
+                .len()
+            };
+            hist.record(started.elapsed());
+            dc.add(ctx.stats.distance_computations);
+            black_box(found);
+        }
+    }
+    obs.gauge("csr_traversal_nodes").set(base.len() as f64);
+    let path = output_dir().join("BENCH_csr_traversal.json");
+    if let Err(e) = std::fs::write(&path, obs.snapshot_json()) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
 }
 
 criterion_group! {

@@ -12,6 +12,7 @@
 //!   add the two-phase exact-rerank tail (`r = 4`) on top.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_bench::common::output_dir;
 use nsg_core::context::SearchContext;
 use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::nsg::{NsgIndex, NsgParams};
@@ -123,6 +124,64 @@ fn bench_traversal(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Registry-snapshot emission: a short measured pass over the two store
+    // backends (plus the rerank tail) publishes per-query latencies and
+    // distance counts into the global `nsg-obs` registry — alongside the
+    // `nsg_build_*` phase counters the build above published — and the
+    // registry is written whole as `BENCH_quantized_distance.json`.
+    let obs = nsg_obs::global();
+    let mut ctx = SearchContext::for_points(base.len());
+    let f32_hist = obs.histogram("quantized_traversal_f32");
+    let f32_dc = obs.counter("quantized_traversal_f32_distance_computations");
+    let sq8_hist = obs.histogram("quantized_traversal_sq8");
+    let sq8_dc = obs.counter("quantized_traversal_sq8_distance_computations");
+    for qi in 0..queries.len() {
+        let started = std::time::Instant::now();
+        black_box(
+            search_on_graph_into(
+                &graph,
+                base.as_ref(),
+                queries.get(qi),
+                &[nav],
+                SearchParams::new(100, 10),
+                &SquaredEuclidean,
+                &mut ctx,
+            )
+            .len(),
+        );
+        f32_hist.record(started.elapsed());
+        f32_dc.add(ctx.stats.distance_computations);
+        let started = std::time::Instant::now();
+        black_box(
+            search_on_graph_into(
+                &graph,
+                store.as_ref(),
+                queries.get(qi),
+                &[nav],
+                SearchParams::new(100, 10),
+                &SquaredEuclidean,
+                &mut ctx,
+            )
+            .len(),
+        );
+        sq8_hist.record(started.elapsed());
+        sq8_dc.add(ctx.stats.distance_computations);
+    }
+    let rerank_hist = obs.histogram("quantized_traversal_sq8_rerank");
+    let mut qctx = quantized.new_context();
+    let request = SearchRequest::new(10).with_effort(100).with_rerank(4);
+    for qi in 0..queries.len() {
+        let started = std::time::Instant::now();
+        black_box(quantized.search_into(&mut qctx, &request, queries.get(qi)).len());
+        rerank_hist.record(started.elapsed());
+    }
+    let path = output_dir().join("BENCH_quantized_distance.json");
+    if let Err(e) = std::fs::write(&path, obs.snapshot_json()) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
 }
 
 criterion_group! {

@@ -67,53 +67,11 @@ pub fn output_dir() -> PathBuf {
 ///
 /// The offline build's serde shim strips the derives to no-ops, so the
 /// experiment binaries render their machine-readable summaries by hand.
-/// Values are pre-rendered JSON fragments: compose with [`json::object`] /
-/// [`json::array`] and render leaves with [`json::string`] /
-/// [`json::number`].
-pub mod json {
-    /// Renders a JSON string literal, escaping quotes, backslashes and
-    /// control characters.
-    pub fn string(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
-    /// Renders a finite number; NaN and infinities (unrepresentable in
-    /// JSON) become `null`.
-    pub fn number(x: f64) -> String {
-        if x.is_finite() {
-            format!("{x}")
-        } else {
-            "null".to_string()
-        }
-    }
-
-    /// Renders an object from pre-rendered `(key, value)` fields, keys in
-    /// the given order.
-    pub fn object(fields: &[(&str, String)]) -> String {
-        let body: Vec<String> =
-            fields.iter().map(|(k, v)| format!("{}: {}", string(k), v)).collect();
-        format!("{{{}}}", body.join(", "))
-    }
-
-    /// Renders an array from pre-rendered elements.
-    pub fn array(items: &[String]) -> String {
-        format!("[{}]", items.join(", "))
-    }
-}
+/// The fragment combinators live in `nsg-obs` now — the registry's own
+/// [`snapshot_json`](nsg_obs::Registry::snapshot_json) exporter is built on
+/// them — and are re-exported here so every experiment binary keeps its
+/// `common::json::*` call sites.
+pub use nsg_obs::json;
 
 /// A built graph-based index together with the pieces the tables report:
 /// its name, its graph view, its fixed entry point (if any) and its build

@@ -21,6 +21,7 @@
 
 use crate::neighbor::{CandidatePool, Neighbor};
 use crate::search::{SearchStats, VisitedSet};
+use nsg_obs::{QueryTrace, TraceRecorder};
 use nsg_vectors::distance::Distance;
 use nsg_vectors::store::QueryScratch;
 use nsg_vectors::VectorSet;
@@ -51,6 +52,11 @@ pub struct SearchContext {
     pub query_scratch: QueryScratch,
     /// Instrumentation of the last search.
     pub stats: SearchStats,
+    /// Sampled query-path tracer: indices arm it per request
+    /// (`SearchRequest::with_trace(n)` traces 1-in-`n` queries), the shared
+    /// search loop timestamps stages into it, and
+    /// [`trace`](Self::trace) surfaces the breakdown of a sampled query.
+    pub tracer: TraceRecorder,
 }
 
 impl SearchContext {
@@ -70,6 +76,7 @@ impl SearchContext {
             scored: Vec::new(),
             query_scratch: QueryScratch::new(),
             stats: SearchStats::default(),
+            tracer: TraceRecorder::new(),
         }
     }
 
@@ -81,6 +88,13 @@ impl SearchContext {
     /// Instrumentation of the last `search_into` call.
     pub fn stats(&self) -> SearchStats {
         self.stats
+    }
+
+    /// The per-stage trace of the last `search_into` call, present iff that
+    /// query was sampled (`SearchRequest::with_trace`). Like
+    /// [`results`](Self::results), it is overwritten by the next search.
+    pub fn trace(&self) -> Option<QueryTrace> {
+        self.tracer.trace()
     }
 
     /// Scores every candidate id currently in [`entries`](Self::entries)
@@ -190,6 +204,12 @@ impl PinnedContext {
     /// Instrumentation of the last [`search`](Self::search).
     pub fn stats(&self) -> SearchStats {
         self.ctx.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// The per-stage trace of the last [`search`](Self::search), present iff
+    /// that query was sampled (`SearchRequest::with_trace`).
+    pub fn trace(&self) -> Option<QueryTrace> {
+        self.ctx.as_ref().and_then(|c| c.trace())
     }
 }
 

@@ -45,6 +45,7 @@ use crate::nsg::{NsgIndex, NsgParams};
 use crate::search::{
     search_from_context_entries, search_on_graph_into, SearchParams, SearchStats,
 };
+use nsg_obs::TraceStage;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::quant::Sq8VectorSet;
 use nsg_vectors::sample::query_salt;
@@ -487,6 +488,7 @@ impl<D: Distance + Clone + Sync, S: VectorStore> MutableIndex<D, S> {
         request: &SearchRequest,
         query: &[f32],
     ) {
+        ctx.tracer.arm(request.trace);
         let base_len = self.base.base().len();
         let mut params = request.traversal_params();
         // Tombstoned candidates are dropped at extraction, so widen each
@@ -514,7 +516,8 @@ impl<D: Distance + Clone + Sync, S: VectorStore> MutableIndex<D, S> {
         ctx.scored.extend_from_slice(&ctx.results);
 
         // Phase 2: the delta graph, seeded from salted random entries plus
-        // the delta nodes anchored near the base answer.
+        // the delta nodes anchored near the base answer. The shared loop's
+        // traversal time is attributed to the delta stage for this pass.
         if !st.rows.is_empty() {
             let entry_count = params.pool_size.min(st.rows.len());
             ctx.fill_random_entries(st.rows.len(), entry_count, self.config.seed, query_salt(query));
@@ -523,19 +526,24 @@ impl<D: Distance + Clone + Sync, S: VectorStore> MutableIndex<D, S> {
                     ctx.entries.extend_from_slice(anchored);
                 }
             }
+            ctx.tracer.set_traversal_stage(TraceStage::DeltaTraversal);
             search_from_context_entries(&st.links, &st.rows, query, params, &self.metric, ctx);
+            ctx.tracer.set_traversal_stage(TraceStage::BaseTraversal);
             ctx.stats.accumulate(base_stats);
+            let merge_timer = ctx.tracer.begin();
             for i in 0..ctx.results.len() {
                 let nb = ctx.results[i];
                 ctx.scored.push(Neighbor::new(nb.id + base_len as u32, nb.dist));
             }
             ctx.scored.sort_unstable_by(Neighbor::ordering);
+            ctx.tracer.finish(TraceStage::SortedMerge, merge_timer, 0);
         } else {
             ctx.stats = base_stats;
         }
 
         // Phase 3: tombstone-filtered extraction. Dead nodes were traversed
         // (the graph stays navigable) but never surface in the answer.
+        let filter_timer = ctx.tracer.begin();
         let keep = if request.rerank_factor() > 1 { request.rerank_candidates() } else { request.k };
         ctx.results.clear();
         for i in 0..ctx.scored.len() {
@@ -548,22 +556,36 @@ impl<D: Distance + Clone + Sync, S: VectorStore> MutableIndex<D, S> {
             }
             ctx.results.push(nb);
         }
+        ctx.tracer.finish(TraceStage::TombstoneFilter, filter_timer, 0);
 
         // Phase 4: exact rerank across both row sets when requested (the
         // shared `exact_rerank` only addresses base rows, so the dual-source
         // row lookup lives here).
         if request.rerank_factor() > 1 {
+            let rerank_timer = ctx.tracer.begin();
+            let rescored = ctx.results.len() as u64;
             let base_rows = self.base.base();
             for i in 0..ctx.results.len() {
                 let id = ctx.results[i].id as usize;
                 let row = if id < base_len { base_rows.get(id) } else { st.rows.get(id - base_len) };
                 ctx.results[i].dist = self.metric.distance(query, row);
             }
-            ctx.stats.distance_computations += ctx.results.len() as u64;
+            ctx.stats.distance_computations += rescored;
             ctx.results.sort_unstable_by(Neighbor::ordering);
             ctx.results.truncate(request.k);
+            ctx.tracer.finish(TraceStage::ExactRerank, rerank_timer, rescored);
         }
     }
+}
+
+/// Publishes one compaction run (count + wall time) to the process-wide
+/// registry. The gather/rebuild/replay whole is timed here; the Algorithm 2
+/// rebuild inside additionally publishes its per-phase `nsg_build_*` counters.
+fn publish_compaction(started: std::time::Instant) {
+    let g = nsg_obs::global();
+    g.counter("nsg_compaction_runs").inc();
+    let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    g.counter("nsg_compaction_nanos").add(nanos);
 }
 
 /// Degree prune of the NSW insertion: keep node `v`'s `m` closest neighbors
@@ -593,10 +615,12 @@ impl<D: Distance + Clone + Sync> MutableIndex<D, VectorSet> {
     /// the successor first, then every later mutation is rejected with
     /// [`MutateError::Sealed`]. Compaction renumbers external ids.
     pub fn compact(&self) -> MutableIndex<D, VectorSet> {
+        let started = std::time::Instant::now();
         let (rows, plan) = self.gather_live();
         let fresh_base = NsgIndex::build(Arc::new(rows), self.metric.clone(), *self.base.params());
         let fresh = MutableIndex::with_config(fresh_base, self.config);
         self.seal_and_replay(&plan, &fresh);
+        publish_compaction(started);
         fresh
     }
 }
@@ -607,11 +631,13 @@ impl<D: Distance + Clone + Sync> MutableIndex<D, Sq8VectorSet> {
     /// SQ8 form (`quantize_sq8`), preserving the memory footprint across
     /// compactions.
     pub fn compact(&self) -> MutableIndex<D, Sq8VectorSet> {
+        let started = std::time::Instant::now();
         let (rows, plan) = self.gather_live();
         let fresh_base = NsgIndex::build(Arc::new(rows), self.metric.clone(), *self.base.params())
             .quantize_sq8();
         let fresh = MutableIndex::with_config(fresh_base, self.config);
         self.seal_and_replay(&plan, &fresh);
+        publish_compaction(started);
         fresh
     }
 }

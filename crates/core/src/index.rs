@@ -73,6 +73,13 @@ pub struct SearchRequest {
     /// knob.
     #[serde(default)]
     pub rerank: usize,
+    /// Query-path trace sampling rate: `n > 0` samples one query in `n`
+    /// (per context), timestamping the Algorithm 1 stages into the
+    /// context's tracer and surfacing the breakdown via
+    /// [`SearchContext::trace`]. `0` (the default) disables tracing; an
+    /// untraced request pays exactly one sampling-decision branch.
+    #[serde(default)]
+    pub trace: u32,
     /// Whether the caller will read [`SearchContext::stats`] after
     /// `search_into`. Stats are guaranteed valid when this is `true`; every
     /// current index fills the counters unconditionally because they are
@@ -89,6 +96,7 @@ impl SearchRequest {
             k,
             quality: SearchQuality::default(),
             rerank: 0,
+            trace: 0,
             collect_stats: false,
         }
     }
@@ -115,6 +123,13 @@ impl SearchRequest {
     /// then exact-rerank them down to `k` (see [`rerank`](Self::rerank)).
     pub fn with_rerank(mut self, factor: usize) -> Self {
         self.rerank = factor;
+        self
+    }
+
+    /// Samples one query in `every` for per-stage tracing (see
+    /// [`trace`](Self::trace)); `0` disables sampling.
+    pub fn with_trace(mut self, every: u32) -> Self {
+        self.trace = every;
         self
     }
 

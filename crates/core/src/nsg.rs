@@ -25,6 +25,7 @@ use crate::mrng::mrng_select;
 use crate::neighbor::Neighbor;
 use crate::search::{exact_rerank, search_collect, search_on_graph, search_on_graph_into, SearchParams};
 use nsg_knn::{build_nn_descent, KnnGraph, NnDescentParams};
+use nsg_obs::TraceStage;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::quant::Sq8VectorSet;
 use nsg_vectors::store::VectorStore;
@@ -34,6 +35,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Publishes one Algorithm 2 phase's wall time to the process-wide metrics
+/// registry (build-side instrumentation; builds are sequential, so the
+/// global scope is unambiguous — see `nsg_obs::global`).
+fn publish_phase_nanos(name: &str, started: Instant) {
+    let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    nsg_obs::global().counter(name).add(nanos);
+}
 
 /// Construction parameters of the NSG (the paper's `l`, `m` and the kNN-graph
 /// `k`; §4.1.4 notes the optimal values depend on the data distribution, not
@@ -143,12 +153,14 @@ impl<D: Distance + Sync> NsgIndex<D> {
 
         // Step ii: navigating node = approximate medoid (search the kNN graph
         // for the centroid from a random start).
+        let phase_started = Instant::now();
         let centroid = base.centroid();
         let mut rng = StdRng::seed_from_u64(params.seed);
         let random_start = rng.random_range(0..n as u32);
         let nav_params = SearchParams::new(params.build_pool_size, 1); // lint:allow(params-construction): build-time medoid search, not a user query
         let nav_result = search_on_graph(&knn_graph, &base, &centroid, &[random_start], nav_params, &metric);
         let navigating_node = nav_result.neighbors.first().map(|nb| nb.id).unwrap_or(random_start);
+        publish_phase_nanos("nsg_build_medoid_nanos", phase_started);
 
         // Step iii: search-collect-select for every node, in parallel. The
         // search context is worker-pinned via `map_init` (one per worker for
@@ -156,6 +168,7 @@ impl<D: Distance + Sync> NsgIndex<D> {
         // context allocation per node; every search resets the context state
         // it uses, keeping results identical at any worker count.
         let m = params.max_degree.max(1);
+        let phase_started = Instant::now();
         let collect_params = SearchParams::new(params.build_pool_size, params.build_pool_size); // lint:allow(params-construction): build-time search-collect pass, effort fixed by BuildParams
         let selected: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
@@ -184,8 +197,10 @@ impl<D: Distance + Sync> NsgIndex<D> {
                 },
             )
             .collect();
+        publish_phase_nanos("nsg_build_select_nanos", phase_started);
 
         // Step iii-b: reverse-edge insertion under the same pruning rule.
+        let phase_started = Instant::now();
         let lists: Vec<Mutex<Vec<Neighbor>>> = selected
             .iter()
             .enumerate()
@@ -236,18 +251,25 @@ impl<D: Distance + Sync> NsgIndex<D> {
                 .map(|l| l.into_inner().into_iter().map(|nb| nb.id).collect())
                 .collect(),
         );
+        publish_phase_nanos("nsg_build_reverse_insert_nanos", phase_started);
 
         // Step iv: DFS tree spanning from the navigating node; reconnect
         // unreachable nodes through their nearest reachable neighbor.
+        let phase_started = Instant::now();
         Self::ensure_connectivity(&mut graph, &base, navigating_node, params.build_pool_size, &metric);
+        publish_phase_nanos("nsg_build_repair_nanos", phase_started);
 
         // Construction is done: freeze the mutable adjacency into the
         // contiguous query-time layout.
+        let phase_started = Instant::now();
+        let graph = graph.freeze();
+        publish_phase_nanos("nsg_build_freeze_nanos", phase_started);
+        nsg_obs::global().gauge("nsg_build_edges").set(graph.num_edges() as f64);
         Self {
             store: Arc::clone(&base),
             base,
             metric,
-            graph: graph.freeze(),
+            graph,
             navigating_node,
             params,
         }
@@ -417,6 +439,7 @@ impl<D: Distance + Sync, S: VectorStore> AnnIndex for NsgIndex<D, S> {
         request: &SearchRequest,
         query: &[f32],
     ) -> &'a [Neighbor] {
+        ctx.tracer.arm(request.trace);
         search_on_graph_into(
             &self.graph,
             self.store.as_ref(),
@@ -427,7 +450,11 @@ impl<D: Distance + Sync, S: VectorStore> AnnIndex for NsgIndex<D, S> {
             ctx,
         );
         if request.rerank_factor() > 1 {
+            let rerank_timer = ctx.tracer.begin();
+            let before = ctx.stats.distance_computations;
             exact_rerank(ctx, &self.base, &self.metric, query, request.k);
+            let spent = ctx.stats.distance_computations - before;
+            ctx.tracer.finish(TraceStage::ExactRerank, rerank_timer, spent);
         }
         &ctx.results
     }

@@ -22,6 +22,7 @@
 use crate::context::SearchContext;
 use crate::graph::GraphView;
 use crate::neighbor::Neighbor;
+use nsg_obs::TraceStage;
 use nsg_vectors::distance::Distance;
 use nsg_vectors::store::VectorStore;
 use nsg_vectors::VectorSet;
@@ -193,6 +194,9 @@ fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Siz
     ctx.stats = SearchStats::default();
     store.prepare_query(metric, query, &mut ctx.query_scratch);
 
+    // Stage timers are `None` (no clock read, no store) unless the context's
+    // tracer was armed for this query by the index entry point.
+    let seed_timer = ctx.tracer.begin();
     for s in nsg_vectors::prefetch::lookahead_ids(start_nodes, store) {
         if (s as usize) < store.len() && ctx.visited.insert(s) {
             let d = store.dist_to(metric, &ctx.query_scratch, s as usize);
@@ -204,9 +208,12 @@ fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Siz
             ctx.pool.insert(s, d);
         }
     }
+    let seed_distances = ctx.stats.distance_computations;
+    ctx.tracer.finish(TraceStage::EntrySeeding, seed_timer, seed_distances);
 
     // Algorithm 1 main loop: expand the first unchecked candidate until the
     // pool is fully checked.
+    let traversal_timer = ctx.tracer.begin();
     while let Some(idx) = ctx.pool.first_unchecked() {
         let current = ctx.pool.mark_checked(idx);
         ctx.stats.hops += 1;
@@ -226,6 +233,8 @@ fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Siz
             ctx.pool.insert(n, d);
         }
     }
+    ctx.tracer
+        .finish_traversal(traversal_timer, ctx.stats.distance_computations - seed_distances);
 
     ctx.results.clear();
     ctx.pool.top_k_into(params.k, &mut ctx.results);

@@ -124,6 +124,7 @@ pub fn build_nn_descent<D: Distance + Sync + ?Sized>(
     }
 
     // Random initialization.
+    let build_started = std::time::Instant::now();
     let lists: Vec<Mutex<NodeList>> = (0..n).map(|_| Mutex::new(NodeList::new(k))).collect();
     {
         let init: Vec<(usize, Vec<u32>)> = (0..n)
@@ -151,6 +152,8 @@ pub fn build_nn_descent<D: Distance + Sync + ?Sized>(
     }
 
     let sample = params.sample.max(1);
+    let mut rounds = 0u64;
+    let mut total_updates = 0u64;
     for iter in 0..params.max_iters {
         // Build per-node forward samples of new/old neighbors and mark the
         // sampled new ones as no longer new.
@@ -245,11 +248,22 @@ pub fn build_nn_descent<D: Distance + Sync + ?Sized>(
             }
         });
 
+        rounds += 1;
+        let round_updates = updates.load(Ordering::Relaxed);
+        total_updates += round_updates;
         let threshold = (params.delta * n as f64 * k as f64).ceil() as u64;
-        if updates.load(Ordering::Relaxed) <= threshold {
+        if round_updates <= threshold {
             break;
         }
     }
+
+    // Publish the build-pipeline metrics (rounds run, successful list
+    // updates, wall time) to the process-wide registry.
+    let obs = nsg_obs::global();
+    obs.counter("nsg_build_nn_descent_rounds").add(rounds);
+    obs.counter("nsg_build_nn_descent_updates").add(total_updates);
+    obs.counter("nsg_build_nn_descent_nanos")
+        .add(u64::try_from(build_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
 
     let final_lists: Vec<Vec<ScoredNeighbor>> = lists
         .into_iter()

@@ -1,0 +1,227 @@
+//! Registry exporters: Prometheus text exposition and JSON snapshots.
+//!
+//! Both walk the same name-sorted instrument listings, so a scrape and a
+//! `BENCH_*.json` artifact taken at the same moment describe the same
+//! registry state. Exporting is the cold path — it allocates freely and
+//! takes the registry family locks briefly to clone the handle lists.
+
+use crate::json;
+use crate::registry::Registry;
+use std::fmt::Write;
+
+/// Rewrites `name` into a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other byte mapped to `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+            continue;
+        }
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// A Prometheus sample value: finite floats as-is, the IEEE specials in the
+/// exposition format's spelling.
+fn prometheus_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// Renders every instrument in Prometheus text exposition format —
+    /// `# TYPE` headers, counters and gauges as single samples, histograms
+    /// as cumulative `_bucket{le=...}` series (seconds) plus `_sum` /
+    /// `_count`. The output of one call is a complete, valid scrape body.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, counter) in self.counters() {
+            let name = prometheus_name(&name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        for (name, gauge) in self.gauges() {
+            let name = prometheus_name(&name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", prometheus_value(gauge.get()));
+        }
+        for (name, hist) in self.histograms() {
+            hist.render_prometheus_into(&prometheus_name(&name), &mut out);
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON document (via the same [`json`]
+    /// fragments the `BENCH_*.json` artifacts are built from): counters and
+    /// gauges as `name: value` maps, histograms as
+    /// `{count, sum, mean, p50, p90, p99}` in base units (nanoseconds for
+    /// latency histograms).
+    pub fn snapshot_json(&self) -> String {
+        let counters: Vec<(String, String)> = self
+            .counters()
+            .into_iter()
+            .map(|(n, c)| (n, json::number(c.get() as f64)))
+            .collect();
+        let gauges: Vec<(String, String)> = self
+            .gauges()
+            .into_iter()
+            .map(|(n, g)| (n, json::number(g.get())))
+            .collect();
+        let histograms: Vec<(String, String)> = self
+            .histograms()
+            .into_iter()
+            .map(|(n, h)| {
+                let count = h.count();
+                let mean = if count == 0 { 0.0 } else { h.sum() as f64 / count as f64 };
+                let doc = json::object(&[
+                    ("count", json::number(count as f64)),
+                    ("sum", json::number(h.sum() as f64)),
+                    ("mean", json::number(mean)),
+                    ("p50", json::number(h.quantile_value(0.50) as f64)),
+                    ("p90", json::number(h.quantile_value(0.90) as f64)),
+                    ("p99", json::number(h.quantile_value(0.99) as f64)),
+                ]);
+                (n, doc)
+            })
+            .collect();
+        let as_fields = |entries: &[(String, String)]| {
+            let fields: Vec<(&str, String)> =
+                entries.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            json::object(&fields)
+        };
+        json::object(&[
+            ("counters", as_fields(&counters)),
+            ("gauges", as_fields(&gauges)),
+            ("histograms", as_fields(&histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A strict little parser for the subset of the text exposition format
+    /// the exporter emits: TYPE headers, `name value` samples, one optional
+    /// `{le="..."}` label, float-parsable values.
+    fn assert_valid_exposition(body: &str) {
+        let mut typed: Vec<String> = Vec::new();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().expect("TYPE line has a name");
+                let kind = parts.next().expect("TYPE line has a kind");
+                assert!(parts.next().is_none(), "trailing tokens: {line}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown metric kind: {line}"
+                );
+                typed.push(name.to_string());
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let name = series.split('{').next().expect("sample line has a name");
+            assert!(!name.is_empty(), "empty metric name: {line}");
+            let mut chars = name.chars();
+            let first = chars.next().expect("non-empty");
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "invalid name start: {line}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "invalid name char: {line}"
+            );
+            if let Some((_, labels)) = series.split_once('{') {
+                let labels = labels.strip_suffix('}').expect("label braces close");
+                let (key, val) = labels.split_once('=').expect("label has a value");
+                assert_eq!(key, "le", "only le labels are emitted: {line}");
+                assert!(val.starts_with('"') && val.ends_with('"'), "unquoted label: {line}");
+            }
+            assert!(
+                value == "NaN" || value == "+Inf" || value == "-Inf" || value.parse::<f64>().is_ok(),
+                "unparsable value: {line}"
+            );
+            // Every sample belongs to a typed family.
+            assert!(
+                typed.iter().any(|t| name == t
+                    || name.strip_prefix(t.as_str()).is_some_and(|suffix| matches!(
+                        suffix,
+                        "_bucket" | "_sum" | "_count"
+                    ))),
+                "sample before its TYPE header: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_prometheus_output_is_valid_exposition_format() {
+        let r = Registry::new();
+        r.counter("queries_completed").add(41);
+        r.counter("weird name-with.bad/chars").inc();
+        r.gauge("queue_depth").set(3.0);
+        r.gauge("nan_gauge").set(f64::NAN);
+        let h = r.histogram("latency");
+        for us in [5u64, 5, 80, 900] {
+            h.record(Duration::from_micros(us));
+        }
+        let body = r.render_prometheus();
+        assert_valid_exposition(&body);
+        assert!(body.contains("# TYPE queries_completed counter\nqueries_completed 41\n"));
+        assert!(body.contains("weird_name_with_bad_chars 1\n"));
+        assert!(body.contains("# TYPE queue_depth gauge\nqueue_depth 3\n"));
+        assert!(body.contains("nan_gauge NaN\n"));
+        assert!(body.contains("latency_bucket{le=\"+Inf\"} 4\n"));
+        assert!(body.contains("latency_count 4\n"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_but_valid_documents() {
+        let r = Registry::new();
+        assert_eq!(r.render_prometheus(), "");
+        assert_eq!(
+            r.snapshot_json(),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}"
+        );
+    }
+
+    #[test]
+    fn snapshot_json_reports_counts_and_quantiles() {
+        let r = Registry::new();
+        r.counter("hits").add(3);
+        r.gauge("fraction").set(0.25);
+        let h = r.histogram("batch");
+        for v in [1u64, 2, 2, 4] {
+            h.observe(v);
+        }
+        let doc = r.snapshot_json();
+        assert!(doc.contains("\"hits\": 3"));
+        assert!(doc.contains("\"fraction\": 0.25"));
+        assert!(doc.contains("\"count\": 4"));
+        assert!(doc.contains("\"sum\": 9"));
+        assert!(doc.contains("\"p99\": 4"));
+    }
+
+    #[test]
+    fn names_sanitize_to_valid_prometheus_identifiers() {
+        assert_eq!(prometheus_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(prometheus_name("has spaces/and.dots"), "has_spaces_and_dots");
+        assert_eq!(prometheus_name("9starts_with_digit"), "_9starts_with_digit");
+        assert_eq!(prometheus_name(""), "_");
+    }
+}

@@ -1,0 +1,283 @@
+//! The fixed-bucket log-scale concurrent histogram: [`LatencyHistogram`].
+//!
+//! 64 power-of-two octaves of nanoseconds (or any `u64` unit — batch sizes
+//! and queue depths use the same buckets), each split into 8 linear
+//! sub-buckets (HDR-histogram style), giving ≤ 12.5% relative error across
+//! the full range from 1 ns to centuries with a flat 496-counter array.
+//!
+//! Recording is a single relaxed atomic increment into the calling thread's
+//! shard — no locks, no allocation, no shared cache line between workers —
+//! and the shards are only summed when a reader asks for a count, quantile
+//! or mean. Lived in `nsg-serve` (PR 3) until the observability layer
+//! hoisted it here; the bucket math and the read-side API are unchanged, so
+//! the serve accessors and their ≤ 12.5% error bound hold verbatim.
+
+use crate::{shard_id, SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// 64 octaves × 8 sub-buckets (the first octaves are exact).
+pub(crate) const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Maps a value in base units to its histogram bucket: the octave of the
+/// leading bit, refined by the next [`SUB_BITS`] bits. Monotone in `value`.
+fn bucket_index(value: u64) -> usize {
+    let n = value.max(1);
+    let msb = 63 - n.leading_zeros();
+    if msb < SUB_BITS {
+        n as usize
+    } else {
+        let sub = ((n >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        ((msb - SUB_BITS + 1) as usize) * SUB + sub
+    }
+}
+
+/// Upper bound (inclusive, in base units) of the values a bucket covers —
+/// the value reported for a quantile that lands in the bucket.
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let msb = (index / SUB) as u32 + SUB_BITS - 1;
+        let sub = (index % SUB) as u128;
+        // Start of the next sub-bucket, minus one; computed in u128 because
+        // the topmost bucket's bound is exactly 2^64 (it saturates to
+        // u64::MAX).
+        let bound = (((1u128 << SUB_BITS) + sub + 1) << (msb - SUB_BITS)) - 1;
+        u64::try_from(bound).unwrap_or(u64::MAX)
+    }
+}
+
+/// One worker shard: a private copy of the bucket array plus the exact sum
+/// and count. Padded to its own cache lines by sheer size.
+struct HistShard {
+    buckets: [AtomicU64; BUCKETS],
+    /// Exact sum for the mean (the buckets alone would round it).
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistShard {
+    const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The sharded fixed-bucket concurrent histogram (see the module docs).
+pub struct LatencyHistogram {
+    shards: [HistShard; SHARDS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (flat arrays of zeroed counters).
+    pub fn new() -> Self {
+        Self {
+            shards: [const { HistShard::new() }; SHARDS],
+        }
+    }
+
+    /// Records one latency observation. Lock-free and allocation-free.
+    pub fn record(&self, latency: Duration) {
+        self.observe(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one raw observation in base units (nanoseconds for
+    /// latencies; plain counts for size-style histograms such as batch
+    /// sizes). Three relaxed atomic increments into this thread's shard.
+    // lint:hot-path
+    pub fn observe(&self, value: u64) {
+        let shard = &self.shards[shard_id()];
+        shard.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations (aggregated over shards).
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(|s| s.count.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Exact sum of all recorded values, in base units.
+    pub fn sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.sum.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total count in bucket `index`, aggregated over shards.
+    pub(crate) fn bucket_total(&self, index: usize) -> u64 {
+        self.shards.iter().map(|s| s.buckets[index].load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, as the upper
+    /// bound of the bucket holding that rank (≤ 12.5% high). Zero when
+    /// nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.quantile_value(q))
+    }
+
+    /// [`quantile`](Self::quantile) in base units rather than as a
+    /// `Duration` — the form size-style histograms read back.
+    pub fn quantile_value(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.bucket_total(i);
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Exact mean of the recorded values (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum() / count)
+    }
+
+    /// Renders this histogram in Prometheus text exposition format under
+    /// `name`, with `le` bounds in seconds: cumulative `_bucket` lines only
+    /// where the count changes, then the mandatory `+Inf` bucket, `_sum`
+    /// and `_count`.
+    pub(crate) fn render_prometheus_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            let in_bucket = self.bucket_total(i);
+            if in_bucket == 0 {
+                continue;
+            }
+            cumulative += in_bucket;
+            let le = bucket_upper_bound(i) as f64 / 1e9;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum() as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0u32..63 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << shift).saturating_add(off << shift.saturating_sub(4)));
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index must not decrease ({v})");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), bucket_index(1));
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn extreme_latencies_do_not_overflow_the_bucket_bounds() {
+        // The topmost bucket's upper bound is 2^64: the math must saturate,
+        // not wrap (or panic in debug builds).
+        assert_eq!(bucket_upper_bound(bucket_index(u64::MAX)), u64::MAX);
+        let h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        h.record(Duration::from_nanos(u64::MAX));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_values_with_bounded_error() {
+        for &v in &[1u64, 7, 8, 100, 999, 1_000, 123_456, 1_000_000, 10_u64.pow(9), u64::MAX / 2] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            // ≤ 12.5% relative error plus rounding slack in the tiny buckets.
+            assert!(ub as f64 <= v as f64 * 1.125 + 1.0, "bucket too wide for {v}: {ub}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 100 observations: 1µs ×90, 1ms ×9, 100ms ×1.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(1));
+        }
+        h.record(Duration::from_millis(100));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!(p50 >= Duration::from_micros(1) && p50 < Duration::from_micros(2));
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_millis(1) && p99 < Duration::from_micros(1200));
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= Duration::from_millis(100));
+        assert!(h.mean() > Duration::from_micros(1000));
+        assert_eq!(LatencyHistogram::new().quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn small_counts_land_in_exact_buckets() {
+        // The first octaves are exact: size-style histograms (batch sizes,
+        // queue depths) read back small values with zero error.
+        let h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 4, 7] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.quantile_value(0.0), 1);
+        assert_eq!(h.quantile_value(1.0), 7);
+        assert_eq!(h.sum(), 21);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_complete() {
+        let h = LatencyHistogram::new();
+        for _ in 0..5 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(5));
+        let mut out = String::new();
+        h.render_prometheus_into("x", &mut out);
+        assert!(out.starts_with("# TYPE x histogram\n"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 6\n"));
+        assert!(out.contains("x_count 6\n"));
+        // Cumulative counts never decrease.
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("x_bucket"))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {counts:?}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal JSON emission for the committed `BENCH_*.json` artifacts and
+//! [`Registry::snapshot_json`](crate::Registry::snapshot_json).
+//!
+//! The offline build's serde shim strips the derives to no-ops, so the
+//! experiment binaries and the registry exporter render their
+//! machine-readable summaries by hand. Values are pre-rendered JSON
+//! fragments: compose with [`object`] / [`array`] and render leaves with
+//! [`string`] / [`number`]. (Hoisted from `nsg_bench::common` so the bench
+//! bins and the observability exporters share one renderer; `nsg-bench`
+//! re-exports this module under its old path.)
+
+/// Renders a JSON string literal, escaping quotes, backslashes and
+/// control characters.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite number; NaN and infinities (unrepresentable in
+/// JSON) become `null`.
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders an object from pre-rendered `(key, value)` fields, keys in
+/// the given order.
+pub fn object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}: {}", string(k), v)).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders an array from pre-rendered elements.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_fragments_compose_into_valid_documents() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(number(0.25), "0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        let doc = object(&[
+            ("name", string("nsg")),
+            ("points", array(&[number(1.0), number(2.5)])),
+        ]);
+        assert_eq!(doc, "{\"name\": \"nsg\", \"points\": [1, 2.5]}");
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("tab\tend"), "\"tab\\tend\"");
+    }
+}

@@ -1,0 +1,100 @@
+//! # nsg-obs — unified observability for the NSG workspace
+//!
+//! One instrumentation substrate for the three places the paper's evaluation
+//! (and the ROADMAP's production north-star) needs numbers from:
+//!
+//! * **Metrics registry** ([`Registry`]) — named [`Counter`]s, [`Gauge`]s and
+//!   log2-bucket [`LatencyHistogram`]s. Recording on the hot path is a single
+//!   relaxed atomic op into a per-worker shard ([cache-padded slots picked by
+//!   a thread-local shard id](shard_id)); shards are aggregated only at
+//!   scrape time, so heavy multi-worker traffic never bounces one cache line.
+//!   Registration (`registry.counter("name")`) is the cold path and hands
+//!   back an `Arc` handle to keep — **never** look a metric up per request.
+//! * **Sampled query-path tracing** ([`TraceRecorder`] / [`QueryTrace`]) —
+//!   for 1-in-N sampled requests, per-stage wall time and distance
+//!   computations through the stages Algorithm 1 actually goes through
+//!   (entry seeding, base traversal, delta traversal, sorted merge,
+//!   tombstone filter, exact rerank). The untraced path pays exactly one
+//!   sampling-decision branch.
+//! * **Exporters** — [`Registry::render_prometheus`] (text exposition
+//!   format, for the future HTTP `/metrics` front door) and
+//!   [`Registry::snapshot_json`] (the same hand-rolled [`json`] fragments
+//!   the `BENCH_*.json` artifacts use), so dashboards and the bench bins
+//!   consume one registry.
+//!
+//! A process-wide registry is available through [`global`] for build-time
+//! instrumentation (NN-Descent rounds, Algorithm 2 phases, compaction);
+//! request-scoped subsystems like `nsg-serve` create their own [`Registry`]
+//! per server so two servers in one process never mix counters.
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use hist::LatencyHistogram;
+pub use registry::{global, Counter, Gauge, Registry};
+pub use trace::{QueryTrace, StageSample, TraceRecorder, TraceStage};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of per-worker shards each [`Counter`] and [`LatencyHistogram`]
+/// spreads its recording over. Threads hash onto shards round-robin; eight
+/// slots keep same-line contention negligible at the worker counts the
+/// serving subsystem runs while keeping aggregation (and memory) cheap.
+pub(crate) const SHARDS: usize = 8;
+
+/// Hands out shard slots to threads round-robin, once per thread.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard slot; `usize::MAX` = not assigned yet.
+    static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard slot in `0..SHARDS`, assigned round-robin on
+/// first use and cached in a const-initialized thread-local afterwards — no
+/// allocation, no lock, on any call.
+// lint:hot-path
+pub(crate) fn shard_id() -> usize {
+    SHARD.with(|slot| {
+        let cached = slot.get();
+        if cached != usize::MAX {
+            cached
+        } else {
+            let fresh = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(fresh);
+            fresh
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_id_is_stable_per_thread_and_in_range() {
+        let first = shard_id();
+        assert!(first < SHARDS);
+        for _ in 0..100 {
+            assert_eq!(shard_id(), first, "shard slot must be cached per thread");
+        }
+    }
+
+    #[test]
+    fn distinct_threads_get_spread_over_slots() {
+        let mut seen: Vec<usize> = std::thread::scope(|scope| {
+            (0..SHARDS)
+                .map(|_| scope.spawn(shard_id))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        seen.sort_unstable();
+        assert!(seen.iter().all(|&s| s < SHARDS));
+    }
+}

@@ -1,0 +1,269 @@
+//! Named-metric registry: [`Registry`], [`Counter`], [`Gauge`], [`global`].
+//!
+//! A registry owns three families of named instruments. Lookup
+//! (`registry.counter("nsg_completed")`) is get-or-register and returns an
+//! `Arc` handle: call it once at construction time, keep the handle, and
+//! record through the handle on the hot path — recording is a relaxed
+//! atomic op into a per-thread shard, never a name lookup, never a lock.
+//!
+//! Two scopes exist by convention:
+//! * [`global()`] — one process-wide registry for build-time
+//!   instrumentation (NN-Descent, Algorithm 2 phases, compaction), where
+//!   "which build" ambiguity doesn't matter because builds are sequential.
+//! * Per-subsystem registries — `nsg-serve` creates one [`Registry`] per
+//!   `Server` so two servers in one process never mix their counters, and
+//!   a scrape of one server's `/metrics` sees only that server.
+
+use crate::hist::LatencyHistogram;
+use crate::{shard_id, SHARDS};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// One cache line per shard so two workers bumping the same counter never
+/// write the same line.
+#[repr(align(64))]
+struct Slot(AtomicU64);
+
+/// A monotonically increasing sum, sharded per worker thread.
+pub struct Counter {
+    slots: [Slot; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self {
+            slots: [const { Slot(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Adds one. A single relaxed atomic increment on this thread's shard.
+    // lint:hot-path
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A single relaxed atomic increment on this thread's shard.
+    // lint:hot-path
+    pub fn add(&self, n: u64) {
+        self.slots[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total, aggregated over shards at read time.
+    pub fn get(&self) -> u64 {
+        self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, delta fraction).
+/// Stored as `f64` bits in one atomic; gauges are set, not accumulated, so
+/// they need no shards.
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge reading 0.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the current value. A single relaxed atomic store.
+    // lint:hot-path
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A named collection of [`Counter`]s, [`Gauge`]s and [`LatencyHistogram`]s
+/// (see the module docs for the usage discipline).
+pub struct Registry {
+    counters: RwLock<Vec<(String, Arc<Counter>)>>,
+    gauges: RwLock<Vec<(String, Arc<Gauge>)>>,
+    histograms: RwLock<Vec<(String, Arc<LatencyHistogram>)>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Linear-scan get-or-register under the family's lock: metric counts are
+/// tens, registration happens once per subsystem construction, and a `Vec`
+/// keeps scrape iteration allocation-light and deterministic.
+fn get_or_register<T>(
+    family: &RwLock<Vec<(String, Arc<T>)>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some((_, found)) = family.read().iter().find(|(n, _)| n == name) {
+        return Arc::clone(found);
+    }
+    let mut entries = family.write();
+    // Double-check under the write lock: another thread may have registered
+    // the name between our read unlock and write lock.
+    if let Some((_, found)) = entries.iter().find(|(n, _)| n == name) {
+        return Arc::clone(found);
+    }
+    let fresh = Arc::new(make());
+    entries.push((name.to_string(), Arc::clone(&fresh)));
+    fresh
+}
+
+/// Name-sorted clones of a family, for deterministic export output.
+fn sorted<T>(family: &RwLock<Vec<(String, Arc<T>)>>) -> Vec<(String, Arc<T>)> {
+    let mut entries: Vec<(String, Arc<T>)> = family
+        .read()
+        .iter()
+        .map(|(n, v)| (n.clone(), Arc::clone(v)))
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            counters: RwLock::new(Vec::new()),
+            gauges: RwLock::new(Vec::new()),
+            histograms: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name, Counter::new)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name, Gauge::new)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        get_or_register(&self.histograms, name, LatencyHistogram::new)
+    }
+
+    /// Name-sorted counter handles (export / test introspection).
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        sorted(&self.counters)
+    }
+
+    /// Name-sorted gauge handles (export / test introspection).
+    pub fn gauges(&self) -> Vec<(String, Arc<Gauge>)> {
+        sorted(&self.gauges)
+    }
+
+    /// Name-sorted histogram handles (export / test introspection).
+    pub fn histograms(&self) -> Vec<(String, Arc<LatencyHistogram>)> {
+        sorted(&self.histograms)
+    }
+}
+
+/// The process-wide registry for build-time instrumentation. Lazily
+/// initialized, never torn down; request-scoped subsystems should create
+/// their own [`Registry`] instead (see the module docs).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_or_register_returns_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.counters().len(), 1);
+        // Different names are different instruments.
+        let c = r.counter("misses");
+        assert_eq!(c.get(), 0);
+        assert_eq!(r.counters().len(), 2);
+    }
+
+    #[test]
+    fn families_are_namespaced_independently() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.gauge("x").set(2.5);
+        r.histogram("x").record(Duration::from_micros(3));
+        assert_eq!(r.counter("x").get(), 1);
+        assert_eq!(r.gauge("x").get(), 2.5);
+        assert_eq!(r.histogram("x").count(), 1);
+    }
+
+    #[test]
+    fn counter_aggregates_across_threads() {
+        let r = Registry::new();
+        let c = r.counter("spread");
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 16_000);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(-3.5);
+        assert_eq!(g.get(), -3.5);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("obs_test_global_singleton");
+        let b = global().counter("obs_test_global_singleton");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn listings_come_back_name_sorted() {
+        let r = Registry::new();
+        r.counter("zeta");
+        r.counter("alpha");
+        r.counter("mid");
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

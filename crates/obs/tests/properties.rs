@@ -1,0 +1,134 @@
+//! Property tests for the observability primitives: the histogram's
+//! documented ≤ 12.5% quantile error bound over arbitrary sample streams,
+//! exact cross-shard aggregation (recording from many threads reads back
+//! identically to recording from one), and scrape consistency under
+//! concurrent load.
+
+use nsg_obs::{LatencyHistogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any stream and any quantile, the histogram's estimate is the
+    /// upper bound of the bucket holding the exact rank: never below the
+    /// exact order statistic, and at most 12.5% above it (plus one unit of
+    /// rounding slack in the tiny exact buckets).
+    #[test]
+    fn quantile_estimates_stay_within_documented_error(
+        values in proptest::collection::vec(0u64..1_000_000_000_000u64, 1..300)
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        let mut values = values;
+        values.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let est = h.quantile_value(q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            prop_assert!(
+                est as f64 <= exact as f64 * 1.125 + 1.0,
+                "q={q}: estimate {est} exceeds 12.5% bound over exact {exact}"
+            );
+        }
+    }
+
+    /// Recording a stream from several threads (each landing in whatever
+    /// per-thread shard it gets) reads back *identically* — count, sum, and
+    /// every quantile — to recording the same multiset from one thread:
+    /// shard aggregation at scrape time loses nothing.
+    #[test]
+    fn sharded_recording_aggregates_like_a_single_thread(
+        values in proptest::collection::vec(1u64..1_000_000u64, 1..200),
+        threads in 2usize..5,
+    ) {
+        let single = LatencyHistogram::new();
+        for &v in &values {
+            single.observe(v);
+        }
+        let sharded = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for chunk in values.chunks(values.len().div_ceil(threads)) {
+                let sharded = &sharded;
+                s.spawn(move || {
+                    for &v in chunk {
+                        sharded.observe(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(sharded.count(), single.count());
+        prop_assert_eq!(sharded.sum(), single.sum());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(sharded.quantile_value(q), single.quantile_value(q));
+        }
+    }
+
+    /// Counter increments spread over threads sum exactly.
+    #[test]
+    fn counter_shards_sum_exactly_over_threads(
+        adds in proptest::collection::vec(1u64..1000u64, 1..64),
+        threads in 2usize..5,
+    ) {
+        let registry = Registry::new();
+        let counter = registry.counter("shard_sum");
+        std::thread::scope(|s| {
+            for chunk in adds.chunks(adds.len().div_ceil(threads)) {
+                let counter = &counter;
+                s.spawn(move || {
+                    for &a in chunk {
+                        counter.add(a);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.get(), adds.iter().sum::<u64>());
+    }
+}
+
+/// Scraping a registry while writers are hammering it never tears: every
+/// intermediate Prometheus/JSON render parses structurally, counter reads
+/// are monotone across scrapes, and the final totals are exact.
+#[test]
+fn scrape_under_load_is_consistent() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let registry = Registry::new();
+    let counter = registry.counter("load_ops");
+    let hist = registry.histogram("load_latency");
+    registry.gauge("load_phase").set(1.0);
+    let mut last_seen = 0u64;
+    std::thread::scope(|s| {
+        for _ in 0..WRITERS {
+            let counter = &counter;
+            let hist = &hist;
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    counter.inc();
+                    hist.observe(i % 1024 + 1);
+                }
+            });
+        }
+        // Scrape concurrently with the writers.
+        for _ in 0..50 {
+            let prom = registry.render_prometheus();
+            assert!(prom.contains("# TYPE load_ops counter"));
+            assert!(prom.contains("# TYPE load_latency histogram"));
+            let json = registry.snapshot_json();
+            assert!(json.starts_with('{') && json.ends_with('}'));
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            let seen = counter.get();
+            assert!(seen >= last_seen, "counter went backwards: {seen} < {last_seen}");
+            last_seen = seen;
+        }
+    });
+    assert_eq!(counter.get(), WRITERS as u64 * PER_WRITER);
+    assert_eq!(hist.count(), WRITERS as u64 * PER_WRITER);
+    let p100 = hist.quantile_value(1.0);
+    assert!((1024..=1152).contains(&p100), "p100 {p100} outside bucket bound");
+}

@@ -20,7 +20,10 @@
 //!   sides.
 //! * [`metrics`] — [`ServerMetrics`]: fixed-bucket latency histogram
 //!   (p50/p90/p99), QPS, rejection/deadline counters, mutation/compaction
-//!   tallies and mean distance computations per query.
+//!   tallies, queue-pressure instruments and mean distance computations per
+//!   query — all handles into a per-server `nsg-obs`
+//!   [`Registry`](nsg_obs::Registry) scrapeable as Prometheus text or JSON
+//!   via [`ServerMetrics::registry`].
 //! * [`mutation`] — [`MutationPolicy`]: live inserts/deletes against a
 //!   [`MutableAnnIndex`](nsg_core::delta::MutableAnnIndex) served behind the
 //!   same queue ([`Server::start_mutable`]), with threshold-triggered

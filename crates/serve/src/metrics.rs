@@ -1,12 +1,20 @@
 //! Latency SLO instrumentation: [`ServerMetrics`].
 //!
+//! Every instrument lives in a per-server [`Registry`] from `nsg-obs`: each
+//! [`Server`](crate::server::Server) gets its own registry so two servers in
+//! one process never mix their counters, and a scrape
+//! ([`Registry::render_prometheus`](nsg_obs::Registry::render_prometheus) /
+//! [`Registry::snapshot_json`](nsg_obs::Registry::snapshot_json) via
+//! [`ServerMetrics::registry`]) sees exactly one server's state.
+//!
 //! Every completed query's end-to-end latency (enqueue → response written)
-//! lands in a **fixed-bucket** log-scale histogram: 64 power-of-two octaves
-//! of nanoseconds, each split into 8 linear sub-buckets (HDR-histogram
-//! style), giving ≤ 12.5% relative error across the full range from 1 ns to
-//! centuries with a flat 512-counter array. Recording is a single atomic
-//! increment — no locks, no allocation — so the warm query path stays
-//! allocation-free with metrics on.
+//! lands in the registry's **fixed-bucket** log-scale
+//! [`LatencyHistogram`]: 64 power-of-two octaves of nanoseconds, each split
+//! into 8 linear sub-buckets (HDR-histogram style), giving ≤ 12.5% relative
+//! error across the full range with a flat counter array. Recording is a
+//! relaxed atomic increment into a per-thread shard — no locks, no
+//! allocation — so the warm query path stays allocation-free with metrics
+//! on.
 //!
 //! [`ServerMetrics::snapshot`] derives the numbers an SLO dashboard wants:
 //! p50/p90/p99 latency, QPS over the metrics window, the rejected and
@@ -14,191 +22,145 @@
 //! (straight from the [`SearchStats`] every index already reports).
 
 use nsg_core::search::SearchStats;
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use nsg_obs::LatencyHistogram;
+use nsg_obs::{Counter, Gauge, Registry};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Sub-bucket resolution: each power-of-two octave is split into
-/// `2^SUB_BITS` linear sub-buckets.
-const SUB_BITS: u32 = 3;
-const SUB: usize = 1 << SUB_BITS;
-/// 64 octaves × 8 sub-buckets (the first octaves are exact).
-const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
-
-/// Maps a latency in nanoseconds to its histogram bucket: the octave of the
-/// leading bit, refined by the next [`SUB_BITS`] bits. Monotone in `nanos`.
-fn bucket_index(nanos: u64) -> usize {
-    let n = nanos.max(1);
-    let msb = 63 - n.leading_zeros();
-    if msb < SUB_BITS {
-        n as usize
-    } else {
-        let sub = ((n >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
-        ((msb - SUB_BITS + 1) as usize) * SUB + sub
-    }
-}
-
-/// Upper bound (inclusive, in nanoseconds) of the values a bucket covers —
-/// the value reported for a quantile that lands in the bucket.
-fn bucket_upper_bound(index: usize) -> u64 {
-    if index < SUB {
-        index as u64
-    } else {
-        let msb = (index / SUB) as u32 + SUB_BITS - 1;
-        let sub = (index % SUB) as u128;
-        // Start of the next sub-bucket, minus one; computed in u128 because
-        // the topmost bucket's bound is exactly 2^64 (it saturates to
-        // u64::MAX).
-        let bound = (((1u128 << SUB_BITS) + sub + 1) << (msb - SUB_BITS)) - 1;
-        u64::try_from(bound).unwrap_or(u64::MAX)
-    }
-}
-
-/// The fixed-bucket concurrent latency histogram (see the module docs).
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    /// Exact sum for the mean (the buckets alone would round it).
-    sum_nanos: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram (a flat array of zeroed counters).
-    pub fn new() -> Self {
-        Self {
-            buckets: [const { AtomicU64::new(0) }; BUCKETS],
-            sum_nanos: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one latency observation. Lock-free and allocation-free.
-    pub fn record(&self, latency: Duration) {
-        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded latencies, as the
-    /// upper bound of the bucket holding that rank (≤ 12.5% high). Zero when
-    /// nothing was recorded.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                return Duration::from_nanos(bucket_upper_bound(i));
-            }
-        }
-        Duration::from_nanos(bucket_upper_bound(BUCKETS - 1))
-    }
-
-    /// Exact mean of the recorded latencies (zero when empty).
-    pub fn mean(&self) -> Duration {
-        let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / count)
-    }
-}
-
-/// All serving counters of one [`Server`](crate::server::Server): the latency
-/// histogram plus completion, rejection, deadline and search-cost tallies.
-/// Shared by every worker; all recording is atomic.
+/// All serving instruments of one [`Server`](crate::server::Server), held as
+/// pre-registered handles into the server's own metrics [`Registry`]: the
+/// latency histograms plus completion, rejection, deadline and search-cost
+/// tallies, queue-pressure histograms, and delta-layer gauges. Shared by
+/// every worker; all recording is atomic.
 pub struct ServerMetrics {
-    latency: LatencyHistogram,
+    registry: Arc<Registry>,
+    latency: Arc<LatencyHistogram>,
     /// End-to-end insert/delete latencies, kept out of the query histogram
     /// so mutations never distort the query SLO percentiles.
-    mutation_latency: LatencyHistogram,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    expired: AtomicU64,
-    failed: AtomicU64,
-    inserts: AtomicU64,
-    deletes: AtomicU64,
-    compactions: AtomicU64,
-    compaction_nanos: AtomicU64,
-    distance_computations: AtomicU64,
+    mutation_latency: Arc<LatencyHistogram>,
+    /// Time a job spent in the admission queue before a worker picked it up.
+    queue_wait: Arc<LatencyHistogram>,
+    /// Jobs drained per worker wake-up (raw counts, not nanoseconds).
+    batch_size: Arc<LatencyHistogram>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    expired: Arc<Counter>,
+    failed: Arc<Counter>,
+    inserts: Arc<Counter>,
+    deletes: Arc<Counter>,
+    compactions: Arc<Counter>,
+    compaction_nanos: Arc<Counter>,
+    distance_computations: Arc<Counter>,
+    /// Jobs sitting in the admission queue, sampled at worker drain time.
+    queue_depth: Arc<Gauge>,
+    /// Fraction of the serving corpus living in the delta graph.
+    delta_fraction: Arc<Gauge>,
+    /// Fraction of ids tombstoned on the serving index.
+    tombstone_fraction: Arc<Gauge>,
     started: Instant,
 }
 
 impl ServerMetrics {
-    /// Creates zeroed metrics; the QPS window starts now.
+    /// Creates zeroed metrics in a fresh per-server registry; the QPS window
+    /// starts now.
     pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
         Self {
-            latency: LatencyHistogram::new(),
-            mutation_latency: LatencyHistogram::new(),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            deletes: AtomicU64::new(0),
-            compactions: AtomicU64::new(0),
-            compaction_nanos: AtomicU64::new(0),
-            distance_computations: AtomicU64::new(0),
+            latency: registry.histogram("serve_latency"),
+            mutation_latency: registry.histogram("serve_mutation_latency"),
+            queue_wait: registry.histogram("serve_queue_wait"),
+            batch_size: registry.histogram("serve_batch_size"),
+            completed: registry.counter("serve_completed"),
+            rejected: registry.counter("serve_rejected"),
+            expired: registry.counter("serve_expired"),
+            failed: registry.counter("serve_failed"),
+            inserts: registry.counter("serve_inserts"),
+            deletes: registry.counter("serve_deletes"),
+            compactions: registry.counter("serve_compactions"),
+            compaction_nanos: registry.counter("serve_compaction_nanos"),
+            distance_computations: registry.counter("serve_distance_computations"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            delta_fraction: registry.gauge("serve_delta_fraction"),
+            tombstone_fraction: registry.gauge("serve_tombstone_fraction"),
+            registry,
             started: Instant::now(),
         }
     }
 
+    /// The per-server registry behind these metrics — scrape it with
+    /// [`Registry::render_prometheus`](nsg_obs::Registry::render_prometheus)
+    /// or [`Registry::snapshot_json`](nsg_obs::Registry::snapshot_json).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Records one successfully answered query (worker side).
+    // lint:hot-path
     pub fn record_completed(&self, latency: Duration, stats: SearchStats) {
         self.latency.record(latency);
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.distance_computations
-            .fetch_add(stats.distance_computations, Ordering::Relaxed);
+        self.completed.inc();
+        self.distance_computations.add(stats.distance_computations);
     }
 
     /// Records one admission rejection (queue full at submit time).
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Records one request dropped because its deadline passed in the queue.
     pub fn record_expired(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.expired.inc();
     }
 
     /// Records one request that failed because its search panicked on the
     /// worker (the request resolved to `WorkerPanicked`).
     pub fn record_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.inc();
     }
 
     /// Records one applied insert (worker side).
     pub fn record_insert(&self, latency: Duration) {
         self.mutation_latency.record(latency);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.inc();
     }
 
     /// Records one acknowledged delete (worker side).
     pub fn record_delete(&self, latency: Duration) {
         self.mutation_latency.record(latency);
-        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.deletes.inc();
     }
 
     /// Records one completed compaction and its wall time.
     pub fn record_compaction(&self, wall: Duration) {
-        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compactions.inc();
         self.compaction_nanos
-            .fetch_add(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+            .add(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one job's time-in-queue (admission → worker pickup).
+    // lint:hot-path
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    /// Records how many jobs one worker wake-up drained.
+    // lint:hot-path
+    pub fn record_batch_size(&self, batch: usize) {
+        self.batch_size.observe(batch as u64);
+    }
+
+    /// Publishes the current admission-queue depth.
+    // lint:hot-path
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.set(depth as f64);
+    }
+
+    /// Publishes the serving index's delta and tombstone fractions (from
+    /// `DeltaStats`), so a scrape shows how far the index has drifted from
+    /// its last compaction.
+    pub fn set_delta_fractions(&self, delta: f64, tombstone: f64) {
+        self.delta_fraction.set(delta);
+        self.tombstone_fraction.set(tombstone);
     }
 
     /// The read side of the insert/delete latency histogram.
@@ -208,12 +170,12 @@ impl ServerMetrics {
 
     /// Number of admission rejections so far.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
     }
 
     /// Number of successfully answered queries so far.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.completed.get()
     }
 
     /// The read side of the direct latency histogram.
@@ -223,29 +185,29 @@ impl ServerMetrics {
 
     /// Derives the SLO report from the current counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let completed = self.completed.load(Ordering::Relaxed);
+        let completed = self.completed.get();
         let elapsed = self.started.elapsed();
         MetricsSnapshot {
             completed,
-            rejected: self.rejected.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.get(),
+            expired: self.expired.get(),
+            failed: self.failed.get(),
             elapsed,
             qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
             p50: self.latency.quantile(0.50),
             p90: self.latency.quantile(0.90),
             p99: self.latency.quantile(0.99),
             mean_latency: self.latency.mean(),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            compactions: self.compactions.load(Ordering::Relaxed),
-            compaction_time: Duration::from_nanos(self.compaction_nanos.load(Ordering::Relaxed)),
+            inserts: self.inserts.get(),
+            deletes: self.deletes.get(),
+            compactions: self.compactions.get(),
+            compaction_time: Duration::from_nanos(self.compaction_nanos.get()),
             mutation_p50: self.mutation_latency.quantile(0.50),
             mutation_p99: self.mutation_latency.quantile(0.99),
             mean_distance_computations: if completed == 0 {
                 0.0
             } else {
-                self.distance_computations.load(Ordering::Relaxed) as f64 / completed as f64
+                self.distance_computations.get() as f64 / completed as f64
             },
         }
     }
@@ -350,47 +312,9 @@ impl std::fmt::Display for MetricsSnapshot {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bucket_index_is_monotone_and_bounded() {
-        let mut values: Vec<u64> = Vec::new();
-        for shift in 0u32..63 {
-            for off in [0u64, 1, 3] {
-                values.push((1u64 << shift).saturating_add(off << shift.saturating_sub(4)));
-            }
-        }
-        values.sort_unstable();
-        let mut last = 0usize;
-        for v in values {
-            let idx = bucket_index(v);
-            assert!(idx >= last, "bucket index must not decrease ({v})");
-            assert!(idx < BUCKETS);
-            last = idx;
-        }
-        assert_eq!(bucket_index(0), bucket_index(1));
-        assert!(bucket_index(u64::MAX) < BUCKETS);
-    }
-
-    #[test]
-    fn extreme_latencies_do_not_overflow_the_bucket_bounds() {
-        // The topmost bucket's upper bound is 2^64: the math must saturate,
-        // not wrap (or panic in debug builds).
-        assert_eq!(bucket_upper_bound(bucket_index(u64::MAX)), u64::MAX);
-        let h = LatencyHistogram::new();
-        h.record(Duration::MAX);
-        h.record(Duration::from_nanos(u64::MAX));
-        assert_eq!(h.quantile(1.0), Duration::from_nanos(u64::MAX));
-    }
-
-    #[test]
-    fn bucket_bounds_cover_their_values_with_bounded_error() {
-        for &v in &[1u64, 7, 8, 100, 999, 1_000, 123_456, 1_000_000, 10_u64.pow(9), u64::MAX / 2] {
-            let ub = bucket_upper_bound(bucket_index(v));
-            assert!(ub >= v, "upper bound {ub} below value {v}");
-            // ≤ 12.5% relative error plus rounding slack in the tiny buckets.
-            assert!(ub as f64 <= v as f64 * 1.125 + 1.0, "bucket too wide for {v}: {ub}");
-        }
-    }
-
+    /// Migration regression: the registry-backed histogram must report the
+    /// same quantiles (within the documented ≤ 12.5% bucket error) the
+    /// pre-migration local histogram did for the same stream.
     #[test]
     fn quantiles_of_a_known_distribution() {
         let h = LatencyHistogram::new();
@@ -440,5 +364,37 @@ mod tests {
         assert_eq!(empty.mean_distance_computations, 0.0);
         assert_eq!(empty.rejection_rate(), 0.0);
         assert_eq!(empty.p50, Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_and_delta_instruments_land_in_the_registry() {
+        let m = ServerMetrics::new();
+        m.record_queue_wait(Duration::from_micros(50));
+        m.record_batch_size(4);
+        m.record_batch_size(2);
+        m.set_queue_depth(7);
+        m.set_delta_fractions(0.25, 0.05);
+        let r = m.registry();
+        assert_eq!(r.histogram("serve_queue_wait").count(), 1);
+        assert_eq!(r.histogram("serve_batch_size").count(), 2);
+        assert_eq!(r.histogram("serve_batch_size").sum(), 6);
+        assert_eq!(r.gauge("serve_queue_depth").get(), 7.0);
+        assert_eq!(r.gauge("serve_delta_fraction").get(), 0.25);
+        assert_eq!(r.gauge("serve_tombstone_fraction").get(), 0.05);
+        // A scrape of the per-server registry sees the SLO counters too.
+        m.record_rejected();
+        let body = r.render_prometheus();
+        assert!(body.contains("serve_rejected 1"));
+        assert!(body.contains("# TYPE serve_queue_wait histogram"));
+    }
+
+    #[test]
+    fn two_servers_metrics_are_isolated() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.record_rejected();
+        assert_eq!(a.rejected(), 1);
+        assert_eq!(b.rejected(), 0);
+        assert!(!Arc::ptr_eq(a.registry(), b.registry()));
     }
 }

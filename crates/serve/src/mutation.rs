@@ -138,7 +138,10 @@ impl MutationRuntime {
     /// time never inflates a recorded mutation latency, and the other
     /// workers keep draining the queue meanwhile.
     pub(crate) fn maybe_compact(&self, handle: &IndexHandle, metrics: &ServerMetrics) {
-        if !self.due(self.load().as_ref()) {
+        let current = self.load();
+        let stats = current.delta_stats();
+        metrics.set_delta_fractions(stats.delta_fraction(), stats.tombstone_fraction());
+        if !self.due(current.as_ref()) {
             return;
         }
         if self.compacting.swap(true, Ordering::AcqRel) {
@@ -154,6 +157,8 @@ impl MutationRuntime {
             self.install(Arc::clone(&pair.mutable));
             handle.swap(Arc::clone(&pair.index));
             metrics.record_compaction(started.elapsed());
+            let stats = pair.mutable.delta_stats();
+            metrics.set_delta_fractions(stats.delta_fraction(), stats.tombstone_fraction());
         }
         self.compacting.store(false, Ordering::Release);
     }

@@ -55,6 +55,8 @@ pub(crate) fn worker_loop(
                 Err(_) => break,
             }
         }
+        metrics.record_batch_size(batch.len());
+        metrics.set_queue_depth(rx.len());
         // One consistent snapshot for the whole batch; a concurrent swap is
         // observed at the next batch boundary.
         let snapshot = handle.load();
@@ -100,6 +102,7 @@ fn serve_mutation(
         return;
     };
     let now = Instant::now();
+    metrics.record_queue_wait(now - job.enqueued);
     if let Some(deadline) = job.deadline {
         if now > deadline {
             metrics.record_expired();
@@ -150,6 +153,7 @@ fn serve_one(
     job: Job,
 ) {
     let now = Instant::now();
+    metrics.record_queue_wait(now - job.enqueued);
     if let Some(deadline) = job.deadline {
         if now > deadline {
             metrics.record_expired();

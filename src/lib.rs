@@ -20,7 +20,10 @@
 //! * [`eval`] — QPS/precision sweeps, scaling fits, report emission,
 //! * [`serve`] — embedded concurrent query service: worker pool behind a
 //!   bounded queue, snapshot hot-swap ([`IndexHandle`](nsg_serve::IndexHandle)),
-//!   latency SLO metrics.
+//!   latency SLO metrics,
+//! * [`obs`] — the observability layer: sharded metrics registry
+//!   (counters/gauges/log-scale histograms), sampled query-path tracing
+//!   ([`QueryTrace`](nsg_obs::QueryTrace)), Prometheus/JSON exporters.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +72,7 @@ pub use nsg_baselines as baselines;
 pub use nsg_core as core;
 pub use nsg_eval as eval;
 pub use nsg_knn as knn;
+pub use nsg_obs as obs;
 pub use nsg_serve as serve;
 pub use nsg_vectors as vectors;
 
@@ -89,6 +93,7 @@ pub mod prelude {
     pub use nsg_core::search::{search_on_graph, search_on_graph_into, SearchParams, SearchStats};
     pub use nsg_core::sharded::ShardedNsg;
     pub use nsg_knn::{build_exact_knn_graph, build_nn_descent, NnDescentParams};
+    pub use nsg_obs::{Counter, Gauge, QueryTrace, Registry, TraceStage};
     pub use nsg_serve::{
         IndexHandle, MetricsSnapshot, MutationPolicy, ResponseSlot, ServeError, Server,
         ServerConfig, ServerMetrics,

@@ -144,6 +144,50 @@ fn nsg_search_into_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn traced_search_into_is_allocation_free_after_warmup() {
+    // The observability form of the guard: with tracing armed for *every*
+    // query (`with_trace(1)`), the recorder timestamps each Algorithm 1
+    // stage into fixed in-context arrays — the warm instrumented path must
+    // still not allocate, and reading the trace back must not either.
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1200, 40, 29);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 50,
+            max_degree: 24,
+            knn: NnDescentParams { k: 36, ..Default::default() },
+            reverse_insert: true,
+            seed: 5,
+        },
+    );
+    let request = SearchRequest::new(10).with_effort(100).with_stats().with_trace(1);
+    let mut ctx = index.new_context();
+
+    for q in 0..4 {
+        let hits = index.search_into(&mut ctx, &request, queries.get(q));
+        assert_eq!(hits.len(), 10);
+        assert!(ctx.trace().is_some(), "every query is sampled at trace=1");
+    }
+
+    let allocations = count_allocations(|| {
+        for q in 0..queries.len() {
+            let hits = index.search_into(&mut ctx, &request, queries.get(q));
+            assert_eq!(hits.len(), 10);
+            let trace = ctx.trace().unwrap();
+            assert!(trace.total_distance_computations() > 0);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "traced search_into allocated {allocations} times across {} queries after warm-up",
+        queries.len()
+    );
+}
+
+#[test]
 fn merged_delta_search_is_allocation_free_after_warmup() {
     // The live-mutation form of the guard: the merged query path — Algorithm
     // 1 on the frozen base, the same loop on the delta graph seeded from
