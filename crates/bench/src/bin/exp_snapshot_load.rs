@@ -1,0 +1,210 @@
+//! Snapshot open vs streaming decode: the zero-copy load-time experiment.
+//!
+//! The NSG2 snapshot's contract is an O(1) open: map the file, validate the
+//! section table, borrow the arenas in place. The streaming NSG1+NSQ8 path
+//! by contrast decodes every record into fresh owned arenas — O(index) work
+//! before the first query can run. This experiment times both *cold paths to
+//! a serving index* across increasing index sizes:
+//!
+//! * legacy: read the NSG1+NSQ8 composite + the fvecs base file, decode all
+//!   three arenas, reassemble the two-phase index;
+//! * snapshot: `Snapshot::open` (mmap + table validation) + `into_index`.
+//!
+//! Shape to check: legacy load grows linearly with the index while the
+//! snapshot open stays flat, and at the default scale the snapshot path is
+//! at least 10x faster. Both loaded indices must answer a probe query
+//! identically to each other (bit-exact), or the speedup is measuring a
+//! wrong answer.
+//!
+//! Environment knobs: `NSG_SCALE=small` shrinks the corpus (CI smoke).
+
+use nsg_bench::common::{json, output_dir, Scale};
+use nsg_core::index::{AnnIndex, SearchRequest};
+use nsg_core::nsg::{NsgIndex, NsgParams};
+use nsg_core::serialize::{quantized_index_from_bytes, quantized_index_to_bytes};
+use nsg_core::snapshot::{write_quantized_snapshot, Snapshot};
+use nsg_eval::report::{fmt_f64, Table};
+use nsg_knn::NnDescentParams;
+use nsg_vectors::distance::SquaredEuclidean;
+use nsg_vectors::io::{read_fvecs_from, write_fvecs_to};
+use nsg_vectors::synthetic::uniform;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DIM: usize = 32;
+const ITERATIONS: usize = 9;
+const SPEEDUP_BAR: f64 = 10.0;
+
+struct Point {
+    n: usize,
+    file_bytes: u64,
+    legacy_decode_us: f64,
+    snapshot_open_us: f64,
+    speedup: f64,
+}
+
+/// Median of `ITERATIONS` timed runs of `f`, in microseconds.
+fn median_us(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..ITERATIONS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: &[usize] = match scale {
+        Scale::Small => &[500, 1000],
+        Scale::Default => &[1500, 3000, 6000],
+    };
+    let dir = std::env::temp_dir().join(format!("nsg_snapshot_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let params = NsgParams {
+        build_pool_size: 60,
+        max_degree: 30,
+        knn: NnDescentParams { k: 40, ..Default::default() },
+        reverse_insert: true,
+        seed: 13,
+    };
+    let request = SearchRequest::new(10).with_effort(100).with_rerank(4);
+
+    println!(
+        "Snapshot open vs streaming decode — dim {DIM}, {ITERATIONS} iterations per point (median)\n"
+    );
+    let mut points: Vec<Point> = Vec::new();
+    for &n in sizes {
+        let base = Arc::new(uniform(n, DIM, 17));
+        let owned =
+            NsgIndex::build(Arc::clone(&base), SquaredEuclidean, params).quantize_sq8();
+
+        // Legacy artifact: the NSG1+NSQ8 composite plus the fvecs base rows
+        // (the pre-snapshot serving loadout for a two-phase index).
+        let legacy_path = dir.join(format!("legacy_{n}.nsg"));
+        let fvecs_path = dir.join(format!("legacy_{n}.fvecs"));
+        let composite =
+            quantized_index_to_bytes(owned.graph(), owned.navigating_node(), owned.store())
+                .expect("encode composite");
+        std::fs::write(&legacy_path, &composite).expect("write composite");
+        let mut fvecs = Vec::new();
+        write_fvecs_to(&mut fvecs, &base).expect("encode fvecs");
+        std::fs::write(&fvecs_path, &fvecs).expect("write fvecs");
+
+        // Snapshot artifact: one NSG2 file carrying the same index.
+        let snap_path = dir.join(format!("snapshot_{n}.nsg2"));
+        write_quantized_snapshot(&snap_path, &owned).expect("write snapshot");
+        let file_bytes = std::fs::metadata(&snap_path).expect("stat snapshot").len();
+
+        // Probe answers must be bit-identical across the three indices, or
+        // the timing compares paths that do different things.
+        let probe = base.get(0).to_vec();
+        let want = owned.search(&probe, &request);
+
+        let legacy_decode_us = median_us(|| {
+            let composite = std::fs::read(&legacy_path).expect("read composite");
+            let (graph, nav, store) =
+                quantized_index_from_bytes(&composite).expect("decode composite");
+            let rows = read_fvecs_from(std::io::Cursor::new(
+                std::fs::read(&fvecs_path).expect("read fvecs"),
+            ))
+            .expect("decode fvecs");
+            let index = NsgIndex::from_store_parts(
+                Arc::new(store),
+                Arc::new(rows),
+                SquaredEuclidean,
+                graph,
+                nav,
+                NsgParams::default(),
+            );
+            assert_eq!(index.search(&probe, &request), want, "legacy decode changed answers");
+        });
+
+        let snapshot_open_us = median_us(|| {
+            let index = Snapshot::open(&snap_path).expect("open snapshot").into_index(
+                NsgParams::default(),
+            );
+            let mut ctx = index.new_context();
+            assert_eq!(
+                index.search_into(&mut ctx, &request, &probe),
+                want.as_slice(),
+                "snapshot open changed answers"
+            );
+        });
+
+        let speedup = legacy_decode_us / snapshot_open_us.max(1e-9);
+        println!(
+            "n = {n}: legacy decode {legacy_decode_us:.0} us, snapshot open {snapshot_open_us:.0} us, speedup {speedup:.1}x"
+        );
+        points.push(Point { n, file_bytes, legacy_decode_us, snapshot_open_us, speedup });
+    }
+
+    let mut table =
+        Table::new(vec!["n", "file bytes", "legacy decode us", "snapshot open us", "speedup"]);
+    for p in &points {
+        table.add_row(vec![
+            p.n.to_string(),
+            p.file_bytes.to_string(),
+            fmt_f64(p.legacy_decode_us, 1),
+            fmt_f64(p.snapshot_open_us, 1),
+            fmt_f64(p.speedup, 1) + "x",
+        ]);
+    }
+    println!("\n{}", table.render());
+    // The snapshot-open timing includes the probe query, so it is an upper
+    // bound on the pure open; the flatness claim reads through that noise.
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    println!(
+        "open-time growth across a {:.1}x size range: {:.2}x (flat = O(1) open; decode grew {:.2}x)",
+        last.n as f64 / first.n as f64,
+        last.snapshot_open_us / first.snapshot_open_us.max(1e-9),
+        last.legacy_decode_us / first.legacy_decode_us.max(1e-9),
+    );
+
+    let point_docs: Vec<String> = points
+        .iter()
+        .map(|p| {
+            json::object(&[
+                ("n", json::number(p.n as f64)),
+                ("dim", json::number(DIM as f64)),
+                ("snapshot_file_bytes", json::number(p.file_bytes as f64)),
+                ("legacy_decode_us", json::number(p.legacy_decode_us)),
+                ("snapshot_open_us", json::number(p.snapshot_open_us)),
+                ("speedup", json::number(p.speedup)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("snapshot_load")),
+        (
+            "scale",
+            json::string(match scale {
+                Scale::Small => "small",
+                Scale::Default => "default",
+            }),
+        ),
+        ("iterations", json::number(ITERATIONS as f64)),
+        ("speedup_bar", json::number(SPEEDUP_BAR)),
+        ("points", json::array(&point_docs)),
+    ]);
+    let path = output_dir().join("BENCH_snapshot_load.json");
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Acceptance: at the default scale the largest point must clear the bar.
+    if matches!(scale, Scale::Default) && last.speedup < SPEEDUP_BAR {
+        eprintln!(
+            "FAIL: snapshot open is only {:.1}x faster than streaming decode at n = {} (bar: {SPEEDUP_BAR}x)",
+            last.speedup, last.n
+        );
+        std::process::exit(1);
+    }
+    println!("ok: snapshot open clears the {SPEEDUP_BAR}x bar at n = {}", last.n);
+}

@@ -14,6 +14,7 @@
 //!   and every query path — `NsgIndex`, `ShardedNsg`, the graph baselines,
 //!   `nsg-serve` snapshots — traverses the frozen form.
 
+use nsg_vectors::Arena;
 use serde::{Deserialize, Serialize};
 
 /// Read-only adjacency interface shared by the build-time
@@ -268,15 +269,15 @@ impl GraphView for DirectedGraph {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
 pub struct CompactGraph {
     /// `n + 1` row offsets into `targets`; `offsets[0] == 0`.
-    offsets: Vec<u32>,
+    offsets: Arena<u32>,
     /// Concatenated out-neighbor lists.
-    targets: Vec<u32>,
+    targets: Arena<u32>,
 }
 
 impl CompactGraph {
     /// An empty graph with zero nodes.
     pub fn empty() -> Self {
-        Self { offsets: vec![0], targets: Vec::new() }
+        Self { offsets: Arena::from_vec(vec![0]), targets: Arena::new() }
     }
 
     /// Freezes a [`DirectedGraph`] into CSR form.
@@ -312,7 +313,7 @@ impl CompactGraph {
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u32);
         }
-        Self { offsets, targets }
+        Self { offsets: Arena::from_vec(offsets), targets: Arena::from_vec(targets) }
     }
 
     /// Freezes prebuilt adjacency lists directly (validating every edge),
@@ -336,7 +337,7 @@ impl CompactGraph {
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u32);
         }
-        Self { offsets, targets }
+        Self { offsets: Arena::from_vec(offsets), targets: Arena::from_vec(targets) }
     }
 
     /// Assembles a graph from already-validated CSR parts (the streaming
@@ -351,7 +352,61 @@ impl CompactGraph {
         debug_assert_eq!(offsets.last().map(|&o| o as usize), Some(targets.len()));
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(targets.iter().all(|&u| (u as usize) < offsets.len() - 1));
-        Self { offsets, targets }
+        Self { offsets: Arena::from_vec(offsets), targets: Arena::from_vec(targets) }
+    }
+
+    /// Assembles a graph over arenas that may borrow from a mapped snapshot
+    /// region. Only the O(1) ends of the CSR invariant are checked here (the
+    /// snapshot section table already bounded every length); full monotone /
+    /// in-range validation is [`CompactGraph::validate_csr`], which snapshot
+    /// verification runs on demand.
+    pub(crate) fn from_arena_parts(offsets: Arena<u32>, targets: Arena<u32>) -> Result<Self, String> {
+        let Some(&first) = offsets.as_slice().first() else {
+            return Err("CSR offsets array is empty".to_string());
+        };
+        if first != 0 {
+            return Err(format!("CSR offsets must start at 0, found {first}"));
+        }
+        let last = offsets.as_slice()[offsets.len() - 1] as usize;
+        if last != targets.len() {
+            return Err(format!(
+                "CSR offsets end at {last} but the edge arena holds {} targets",
+                targets.len()
+            ));
+        }
+        Ok(Self { offsets, targets })
+    }
+
+    /// Deep O(n + m) CSR validation: offsets monotone non-decreasing, every
+    /// target inside `0..n`. The streaming decoder enforces this shape while
+    /// filling; mapped snapshots opt in via `Snapshot::verify`.
+    pub fn validate_csr(&self) -> Result<(), String> {
+        let offs = self.offsets.as_slice();
+        if let Some(w) = offs.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!("CSR offsets decrease: {} then {}", w[0], w[1]));
+        }
+        let n = self.num_nodes();
+        if let Some(&u) = self.targets.as_slice().iter().find(|&&u| (u as usize) >= n) {
+            return Err(format!("edge target {u} points outside the {n}-node graph"));
+        }
+        Ok(())
+    }
+
+    /// Whether the CSR arenas are borrowed from a mapped region rather than
+    /// owned by this graph.
+    pub fn is_borrowed(&self) -> bool {
+        self.targets.is_borrowed()
+    }
+
+    /// The raw `n + 1` CSR row offsets (the snapshot writer serializes these
+    /// verbatim).
+    pub(crate) fn csr_offsets(&self) -> &[u32] {
+        self.offsets.as_slice()
+    }
+
+    /// The raw concatenated edge arena.
+    pub(crate) fn csr_targets(&self) -> &[u32] {
+        self.targets.as_slice()
     }
 
     /// Number of nodes.
@@ -382,15 +437,17 @@ impl CompactGraph {
         let v = v as usize;
         // CSR invariant: offsets are monotone non-decreasing, so the slice
         // bounds can never be inverted.
-        debug_assert!(self.offsets[v] <= self.offsets[v + 1]);
-        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+        let offs = self.offsets.as_slice();
+        debug_assert!(offs[v] <= offs[v + 1]);
+        &self.targets.as_slice()[offs[v] as usize..offs[v + 1] as usize]
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: u32) -> usize {
         let v = v as usize;
-        (self.offsets[v + 1] - self.offsets[v]) as usize
+        let offs = self.offsets.as_slice();
+        (offs[v + 1] - offs[v]) as usize
     }
 
     /// Average out-degree (the paper's AOD column in Table 2).
@@ -400,7 +457,7 @@ impl CompactGraph {
 
     /// Maximum out-degree (the paper's MOD column in Table 2).
     pub fn max_out_degree(&self) -> usize {
-        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
+        self.offsets.as_slice().windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
     }
 
     /// See [`GraphView::memory_bytes_fixed_degree`].

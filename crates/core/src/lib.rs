@@ -10,6 +10,7 @@
 
 pub mod context;
 pub mod delta;
+pub mod format;
 pub mod graph;
 pub mod index;
 pub mod mrng;
@@ -18,6 +19,7 @@ pub mod nsg;
 pub mod search;
 pub mod serialize;
 pub mod sharded;
+pub mod snapshot;
 pub mod stats;
 
 pub use context::SearchContext;
@@ -33,3 +35,4 @@ pub use search::{
     search_on_graph, search_on_graph_into, SearchParams, SearchResult, SearchStats, VisitedSet,
 };
 pub use sharded::ShardedNsg;
+pub use snapshot::{write_snapshot, write_quantized_snapshot, Snapshot};

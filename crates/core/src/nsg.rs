@@ -396,6 +396,12 @@ impl<D: Distance + Sync, S: VectorStore> NsgIndex<D, S> {
         &self.metric
     }
 
+    /// The metric's serializable tag (what snapshot writers record so a
+    /// reader can redispatch to the same concrete metric).
+    pub fn metric_kind(&self) -> nsg_vectors::DistanceKind {
+        self.metric.kind()
+    }
+
     /// Reassembles an index from its serialized parts together with an
     /// explicit traversal store (the quantized-deserialization path; see
     /// [`crate::serialize`]).

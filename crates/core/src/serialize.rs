@@ -16,19 +16,18 @@
 //! adversarial header fails fast with [`SerializeError::Corrupt`] instead of
 //! attempting a multi-gigabyte allocation. The encoder is generic over
 //! [`GraphView`], so both representations write the identical byte stream.
+//!
+//! All magic numbers and fixed header sizes come from [`crate::format`],
+//! which also documents the byte layouts; the aligned zero-copy snapshot
+//! format built on top of these sections lives in [`crate::snapshot`].
 
+use crate::format::{GRAPH_MAGIC, HEADER_LEN, SQ8_MAGIC};
 use crate::graph::{CompactGraph, GraphView};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use nsg_vectors::quant::Sq8VectorSet;
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
-
-/// Magic number identifying the serialized format ("NSG1").
-const MAGIC: u32 = 0x4E53_4731;
-
-/// Magic number of the SQ8 quantized-store section ("NSQ8").
-const SQ8_MAGIC: u32 = 0x4E53_5138;
 
 /// Errors returned by the index (de)serialization routines.
 #[derive(Debug)]
@@ -81,8 +80,8 @@ pub fn graph_to_bytes<G: GraphView + ?Sized>(
     if u32::try_from(edges).is_err() {
         return Err(SerializeError::TooLarge(format!("{edges} total edges exceed u32")));
     }
-    let mut buf = BytesMut::with_capacity(12 + edges * 4 + graph.num_nodes() * 4);
-    buf.put_u32_le(MAGIC);
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + edges * 4 + graph.num_nodes() * 4);
+    buf.put_u32_le(GRAPH_MAGIC);
     buf.put_u32_le(navigating_node);
     buf.put_u32_le(n);
     for v in 0..n {
@@ -113,11 +112,11 @@ pub fn graph_from_bytes(mut bytes: &[u8]) -> Result<(CompactGraph, u32), Seriali
 /// Streaming graph decode that advances `bytes` past the consumed section,
 /// so composite formats (graph section + SQ8 section) can parse in sequence.
 fn decode_graph(bytes: &mut &[u8]) -> Result<(CompactGraph, u32), SerializeError> {
-    if bytes.remaining() < 12 {
+    if bytes.remaining() < HEADER_LEN {
         return Err(SerializeError::Corrupt("truncated header".into()));
     }
     let magic = bytes.get_u32_le();
-    if magic != MAGIC {
+    if magic != GRAPH_MAGIC {
         return Err(SerializeError::Corrupt(format!("bad magic 0x{magic:08x}")));
     }
     let navigating_node = bytes.get_u32_le();
@@ -190,7 +189,7 @@ pub fn sq8_to_bytes(store: &Sq8VectorSet) -> Result<Bytes, SerializeError> {
         .map_err(|_| SerializeError::TooLarge(format!("dimension {} exceeds u32", store.dim())))?;
     let n = u32::try_from(store.len())
         .map_err(|_| SerializeError::TooLarge(format!("{} vectors exceed u32", store.len())))?;
-    let mut buf = BytesMut::with_capacity(12 + store.dim() * 8 + store.as_codes().len());
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + store.dim() * 8 + store.as_codes().len());
     buf.put_u32_le(SQ8_MAGIC);
     buf.put_u32_le(dim);
     buf.put_u32_le(n);
@@ -217,7 +216,7 @@ pub fn sq8_from_bytes(mut bytes: &[u8]) -> Result<Sq8VectorSet, SerializeError> 
 
 /// Streaming SQ8 decode that advances `bytes` past the consumed section.
 fn decode_sq8(bytes: &mut &[u8]) -> Result<Sq8VectorSet, SerializeError> {
-    if bytes.remaining() < 12 {
+    if bytes.remaining() < HEADER_LEN {
         return Err(SerializeError::Corrupt("truncated SQ8 header".into()));
     }
     let magic = bytes.get_u32_le();
@@ -271,7 +270,10 @@ fn decode_sq8(bytes: &mut &[u8]) -> Result<Sq8VectorSet, SerializeError> {
         })?;
     let codes = bytes.chunk()[..code_bytes].to_vec();
     bytes.advance(code_bytes);
-    Ok(Sq8VectorSet::from_parts(dim, min, scale, codes))
+    // The length relations were all enforced above, but corrupt inputs must
+    // never reach a panicking constructor — surface any residue as Corrupt.
+    Sq8VectorSet::try_from_parts(dim, min, scale, codes)
+        .map_err(|e| SerializeError::Corrupt(format!("SQ8 parts rejected: {e}")))
 }
 
 /// Serializes a quantized index: the graph section ([`graph_to_bytes`])
@@ -403,7 +405,7 @@ mod tests {
         // must now be bounded by the bytes actually present.
         for claimed in [u32::MAX, u32::MAX / 2, 1_000_000] {
             let mut buf = BytesMut::new();
-            buf.put_u32_le(MAGIC);
+            buf.put_u32_le(GRAPH_MAGIC);
             buf.put_u32_le(0); // navigating node
             buf.put_u32_le(claimed); // wildly overstated node count
             buf.put_u32_le(0); // a single real record
@@ -420,7 +422,7 @@ mod tests {
         // A single node whose degree field claims far more neighbors than the
         // stream holds must be rejected before any arena growth.
         let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(GRAPH_MAGIC);
         buf.put_u32_le(0);
         buf.put_u32_le(1); // one node
         buf.put_u32_le(u32::MAX); // degree overstated by ~4 billion
@@ -435,7 +437,7 @@ mod tests {
     fn out_of_range_edges_are_rejected() {
         // Hand-craft a stream whose single node points at node 7.
         let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(GRAPH_MAGIC);
         buf.put_u32_le(0);
         buf.put_u32_le(1);
         buf.put_u32_le(1);
@@ -449,7 +451,7 @@ mod tests {
     #[test]
     fn out_of_range_navigating_node_is_rejected() {
         let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(GRAPH_MAGIC);
         buf.put_u32_le(9); // navigating node
         buf.put_u32_le(1); // one node
         buf.put_u32_le(0); // degree 0

@@ -21,7 +21,11 @@
 //! prefetch traversal on every served query.
 
 use nsg_core::index::AnnIndex;
+use nsg_core::nsg::NsgParams;
+use nsg_core::serialize::SerializeError;
+use nsg_core::snapshot::Snapshot as FileSnapshot;
 use parking_lot::RwLock;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One consistent `(index, generation)` pair loaded from an [`IndexHandle`].
@@ -82,6 +86,36 @@ impl IndexHandle {
     /// The current generation number (0 until the first swap).
     pub fn generation(&self) -> u64 {
         self.current.read().generation
+    }
+
+    /// Hot-swaps in an on-disk NSG2 snapshot — O(1) in the index size. The
+    /// file is mapped (`nsg_core::snapshot::Snapshot::open`), its section
+    /// table validated, borrowed views wrapped into a serving index, and the
+    /// generation flipped: no arena is decoded or copied. The displaced
+    /// snapshot is returned; its mapped region (if it came from a snapshot
+    /// too) stays resident until the last in-flight query drops it, then
+    /// unmaps.
+    ///
+    /// Trust model: this is the fast path for snapshots produced by this
+    /// process's own build pipeline. Table validation rejects anything
+    /// structurally unsound, but does not scan payloads; for snapshots from
+    /// untrusted storage use [`swap_snapshot_verified`](Self::swap_snapshot_verified).
+    pub fn swap_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<Snapshot, SerializeError> {
+        let snap = FileSnapshot::open(path)?;
+        Ok(self.swap(snap.into_index(NsgParams::default())))
+    }
+
+    /// Like [`swap_snapshot`](Self::swap_snapshot), but runs the deep O(n+m)
+    /// content check ([`nsg_core::snapshot::Snapshot::verify`]) before the
+    /// swap, so a payload-corrupt file is refused while the old generation
+    /// keeps serving.
+    pub fn swap_snapshot_verified<P: AsRef<Path>>(
+        &self,
+        path: P,
+    ) -> Result<Snapshot, SerializeError> {
+        let snap = FileSnapshot::open(path)?;
+        snap.verify()?;
+        Ok(self.swap(snap.into_index(NsgParams::default())))
     }
 }
 

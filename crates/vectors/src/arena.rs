@@ -1,0 +1,376 @@
+//! Arena storage that is either owned or borrowed from a mapped region.
+//!
+//! Every frozen query-time structure in this workspace (the CSR graph, the
+//! flat vector rows, the SQ8 codes and affine parameters) is ultimately one
+//! contiguous slice of a plain-old-data element type. [`Arena<T>`] makes the
+//! *ownership* of that slice a runtime property instead of a type-level one:
+//!
+//! * **Owned** — backed by a `Vec<T>`, exactly what every builder produces.
+//! * **Borrowed** — a view into a ref-counted [`MappedRegion`] (an `mmap(2)`'d
+//!   snapshot file or its aligned-copy fallback). Cloning is O(1) — it bumps
+//!   the region's refcount — and the region stays alive until the last arena
+//!   referencing it drops, which is what lets `nsg-serve` hot-swap snapshots
+//!   while in-flight queries still read the old one.
+//!
+//! The hot path never branches on the variant: the arena caches a raw
+//! `(ptr, len)` pair that [`Arena::as_slice`] reinterprets directly, and the
+//! pair is re-derived after every mutation of the owned backing (the heap
+//! buffer of a `Vec` does not move when the `Arena` struct itself moves, so
+//! the cache stays valid across moves).
+//!
+//! Borrowing from raw mapped bytes is only allowed for element types that
+//! implement the sealed [`ArenaElem`] marker: `u8`, `u32` and `f32`, the
+//! exact palette of the snapshot format. All three are valid for every bit
+//! pattern, so reinterpreting untrusted file bytes can produce garbage
+//! *values* but never undefined behavior.
+
+use std::sync::Arc;
+
+use crate::mapped::MappedRegion;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for f32 {}
+}
+
+/// Marker for element types an [`Arena`] may borrow from raw mapped bytes.
+///
+/// # Safety
+///
+/// Implementors must be plain-old-data: no padding, no invalid bit patterns,
+/// no drop glue, no references. The three implementations (`u8`, `u32`,
+/// `f32`) all satisfy this; the trait is sealed so no others can appear.
+pub unsafe trait ArenaElem: sealed::Sealed + Copy + Send + Sync + 'static {}
+
+// SAFETY: u8 has size 1, no padding, and every bit pattern is a valid value.
+unsafe impl ArenaElem for u8 {}
+// SAFETY: u32 has no padding and every bit pattern is a valid value.
+unsafe impl ArenaElem for u32 {}
+// SAFETY: f32 has no padding and every bit pattern is a valid value (NaN
+// payloads included).
+unsafe impl ArenaElem for f32 {}
+
+/// Why a requested borrow of a mapped region was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArenaError {
+    /// The requested byte range does not lie within the region.
+    OutOfBounds {
+        /// First byte of the requested range.
+        offset: usize,
+        /// Length of the requested range in bytes.
+        bytes: usize,
+        /// Total length of the region in bytes.
+        region: usize,
+    },
+    /// The start of the range is not aligned for the element type.
+    Misaligned {
+        /// First byte of the requested range.
+        offset: usize,
+        /// Required alignment in bytes.
+        align: usize,
+    },
+}
+
+impl std::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaError::OutOfBounds { offset, bytes, region } => write!(
+                f,
+                "arena range [{offset}, {offset}+{bytes}) exceeds the {region}-byte region"
+            ),
+            ArenaError::Misaligned { offset, align } => {
+                write!(f, "arena offset {offset} is not {align}-byte aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
+enum Backing<T> {
+    /// The arena owns its elements.
+    Owned(Vec<T>),
+    /// The arena borrows from a ref-counted mapped region; the `Arc` keeps
+    /// the bytes behind the cached pointer alive.
+    Mapped(Arc<MappedRegion>),
+}
+
+/// A contiguous immutable-by-default slice of `T` that is either owned
+/// (`Vec<T>`) or borrowed from a ref-counted mapped region.
+///
+/// Derefs to `&[T]`; the deref is branch-free (cached pointer + length).
+pub struct Arena<T> {
+    /// Cached base pointer of the live slice. Invariant: always points at
+    /// `len` valid `T`s kept alive by `backing` (re-derived after every
+    /// mutation of the owned vector).
+    ptr: *const T,
+    len: usize,
+    backing: Backing<T>,
+}
+
+// SAFETY: the cached pointer targets memory owned/kept alive by `backing`
+// (a Vec or an Arc<MappedRegion>, both Send + Sync for T: Send + Sync), and
+// the arena never exposes unsynchronized interior mutability.
+unsafe impl<T: Send + Sync> Send for Arena<T> {}
+// SAFETY: see the Send impl above; shared access is read-only.
+unsafe impl<T: Send + Sync> Sync for Arena<T> {}
+
+impl<T> Arena<T> {
+    /// An empty owned arena.
+    pub fn new() -> Self {
+        Arena::from_vec(Vec::new())
+    }
+
+    /// Wraps an owned vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let (ptr, len) = (v.as_ptr(), v.len());
+        Arena { ptr, len, backing: Backing::Owned(v) }
+    }
+
+    /// The live elements.
+    // lint:hot-path — every per-hop slice of graph edges and vector rows
+    // comes through here; no allocation, no branching on the backing.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: struct invariant — `ptr` points at `len` valid `T`s kept
+        // alive by `self.backing` for at least the lifetime of `&self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this arena borrows from a mapped region (`true`) or owns its
+    /// elements (`false`).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// The region this arena borrows from, if any.
+    pub fn region(&self) -> Option<&Arc<MappedRegion>> {
+        match &self.backing {
+            Backing::Owned(_) => None,
+            Backing::Mapped(region) => Some(region),
+        }
+    }
+
+    /// Heap bytes attributable to this arena. Borrowed arenas report zero:
+    /// the mapped region's bytes are accounted once by whoever holds the
+    /// snapshot, not per-view.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.backing {
+            Backing::Owned(v) => v.capacity() * std::mem::size_of::<T>(),
+            Backing::Mapped(_) => 0,
+        }
+    }
+
+    /// Mutates the owned backing vector and re-derives the cached slice.
+    ///
+    /// Borrowed arenas are frozen; mutating one is a logic error upstream
+    /// (builders only ever produce owned arenas), so this asserts.
+    pub fn modify<R>(&mut self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        let out = match &mut self.backing {
+            Backing::Owned(v) => f(v),
+            Backing::Mapped(_) => {
+                unreachable!("cannot mutate an arena borrowed from a mapped region")
+            }
+        };
+        // Re-derive the cache: the vector may have reallocated.
+        if let Backing::Owned(v) = &self.backing {
+            self.ptr = v.as_ptr();
+            self.len = v.len();
+        }
+        out
+    }
+}
+
+impl<T: Clone> Arena<T> {
+    /// Copies the elements into a fresh owned arena (an O(len) deep copy —
+    /// this is the "materialize" operation snapshot decoding uses when the
+    /// caller wants ownership rather than a view).
+    pub fn to_owned_arena(&self) -> Arena<T> {
+        Arena::from_vec(self.as_slice().to_vec())
+    }
+}
+
+impl<T: ArenaElem> Arena<T> {
+    /// Borrows `len` elements starting `byte_offset` bytes into `region`.
+    ///
+    /// Fails if the byte range `[byte_offset, byte_offset + len * size_of::<T>())`
+    /// is not fully inside the region or the start is misaligned for `T`.
+    /// Bounds are checked *before* any pointer arithmetic, per the workspace's
+    /// bounded-decode discipline.
+    pub fn borrow_from_region(
+        region: &Arc<MappedRegion>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<Arena<T>, ArenaError> {
+        let elem = std::mem::size_of::<T>();
+        let bytes = len
+            .checked_mul(elem)
+            .ok_or(ArenaError::OutOfBounds { offset: byte_offset, bytes: usize::MAX, region: region.len() })?;
+        let end = byte_offset
+            .checked_add(bytes)
+            .ok_or(ArenaError::OutOfBounds { offset: byte_offset, bytes, region: region.len() })?;
+        if end > region.len() {
+            return Err(ArenaError::OutOfBounds { offset: byte_offset, bytes, region: region.len() });
+        }
+        let align = std::mem::align_of::<T>();
+        let base = region.bytes().as_ptr();
+        if !(base as usize + byte_offset).is_multiple_of(align) {
+            return Err(ArenaError::Misaligned { offset: byte_offset, align });
+        }
+        // A zero-length borrow must not dereference (or even form) a pointer
+        // into the region; use the canonical dangling-but-aligned pointer.
+        let ptr = if len == 0 {
+            std::ptr::NonNull::<T>::dangling().as_ptr() as *const T
+        } else {
+            // SAFETY: `byte_offset + bytes <= region.len()` was checked above,
+            // so the offset pointer stays inside (or one-past-the-end of) the
+            // region's allocation.
+            unsafe { base.add(byte_offset) as *const T }
+        };
+        Ok(Arena { ptr, len, backing: Backing::Mapped(Arc::clone(region)) })
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T: Clone> Clone for Arena<T> {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            // Cloning an owned arena deep-copies (same semantics as Vec).
+            Backing::Owned(v) => Arena::from_vec(v.clone()),
+            // Cloning a borrowed arena is O(1): same view, one more refcount.
+            Backing::Mapped(region) => Arena {
+                ptr: self.ptr,
+                len: self.len,
+                backing: Backing::Mapped(Arc::clone(region)),
+            },
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Arena<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> AsRef<[T]> for Arena<T> {
+    fn as_ref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Arena<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq + PartialEq> Eq for Arena<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("len", &self.len)
+            .field("borrowed", &self.is_borrowed())
+            .finish()
+    }
+}
+
+impl<T> From<Vec<T>> for Arena<T> {
+    fn from(v: Vec<T>) -> Self {
+        Arena::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedRegion;
+
+    #[test]
+    fn owned_arena_round_trips_and_reports_ownership() {
+        let mut a = Arena::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        assert!(!a.is_borrowed());
+        a.modify(|v| v.extend_from_slice(&[4, 5]));
+        assert_eq!(a.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.len(), 5);
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modify_survives_reallocation() {
+        let mut a: Arena<u32> = Arena::new();
+        for i in 0..1000 {
+            a.modify(|v| v.push(i));
+        }
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a.as_slice()[999], 999);
+    }
+
+    #[test]
+    fn borrowed_arena_reads_region_bytes() {
+        let words: Vec<u32> = (0..64).collect();
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let region = MappedRegion::from_bytes(&bytes);
+        let a: Arena<u32> = Arena::borrow_from_region(&region, 0, 64).unwrap();
+        assert_eq!(a.as_slice(), &words[..]);
+        assert!(a.is_borrowed());
+        assert_eq!(a.heap_bytes(), 0);
+        // Clones share the region.
+        let b = a.clone();
+        assert_eq!(Arc::strong_count(&region), 3);
+        drop(a);
+        drop(b);
+        assert_eq!(Arc::strong_count(&region), 1);
+    }
+
+    #[test]
+    fn borrow_rejects_out_of_bounds_and_misalignment() {
+        let region = MappedRegion::from_bytes(&[0u8; 16]);
+        assert!(matches!(
+            Arena::<u32>::borrow_from_region(&region, 0, 5),
+            Err(ArenaError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            Arena::<u32>::borrow_from_region(&region, 1, 2),
+            Err(ArenaError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            Arena::<u32>::borrow_from_region(&region, usize::MAX, 1),
+            Err(ArenaError::OutOfBounds { .. })
+        ));
+        // Zero-length borrows are fine anywhere in bounds and even at the end.
+        assert!(Arena::<u32>::borrow_from_region(&region, 16, 0).is_ok());
+    }
+
+    #[test]
+    fn region_keeps_bytes_alive_after_source_drop() {
+        let region = MappedRegion::from_bytes(&42u32.to_le_bytes());
+        let a: Arena<u32> = Arena::borrow_from_region(&region, 0, 1).unwrap();
+        drop(region);
+        assert_eq!(a.as_slice(), &[42]);
+    }
+}

@@ -8,6 +8,8 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::arena::Arena;
+
 /// A set of `n` dense `f32` vectors of identical dimension `d`, stored
 /// contiguously in row-major order.
 ///
@@ -17,7 +19,7 @@ use std::fmt;
 #[derive(Clone, Serialize, Deserialize, PartialEq)]
 pub struct VectorSet {
     dim: usize,
-    data: Vec<f32>,
+    data: Arena<f32>,
 }
 
 impl fmt::Debug for VectorSet {
@@ -36,7 +38,7 @@ impl VectorSet {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        Self { dim, data: Vec::new() }
+        Self { dim, data: Arena::new() }
     }
 
     /// Creates an empty vector set with room for `capacity` vectors.
@@ -44,7 +46,7 @@ impl VectorSet {
         assert!(dim > 0, "vector dimension must be positive");
         Self {
             dim,
-            data: Vec::with_capacity(dim * capacity),
+            data: Arena::from_vec(Vec::with_capacity(dim * capacity)),
         }
     }
 
@@ -60,7 +62,30 @@ impl VectorSet {
             data.len(),
             dim
         );
+        Self { dim, data: Arena::from_vec(data) }
+    }
+
+    /// Builds a vector set directly over an arena (owned or borrowed from a
+    /// mapped snapshot region). This is how `nsg-core`'s snapshot loader
+    /// hands out zero-copy views: same type, same query path, no copies.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_arena(dim: usize, data: Arena<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
         Self { dim, data }
+    }
+
+    /// Whether the coordinates are borrowed from a mapped region rather than
+    /// owned by this set.
+    pub fn is_borrowed(&self) -> bool {
+        self.data.is_borrowed()
     }
 
     /// Builds a vector set from per-vector rows.
@@ -100,7 +125,7 @@ impl VectorSet {
     #[inline]
     pub fn push(&mut self, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "pushed vector has wrong dimension");
-        self.data.extend_from_slice(v);
+        self.data.modify(|d| d.extend_from_slice(v));
     }
 
     /// Returns vector `i` as a slice.
@@ -110,7 +135,7 @@ impl VectorSet {
     #[inline]
     pub fn get(&self, i: usize) -> &[f32] {
         let start = i * self.dim;
-        &self.data[start..start + self.dim]
+        &self.data.as_slice()[start..start + self.dim]
     }
 
     /// Returns vector `i` without bounds checks.
@@ -123,13 +148,13 @@ impl VectorSet {
         debug_assert!(start + self.dim <= self.data.len());
         // SAFETY: the caller guarantees `i < self.len()`, so the row's byte
         // range lies inside the flat buffer by construction.
-        unsafe { self.data.get_unchecked(start..start + self.dim) }
+        unsafe { self.data.as_slice().get_unchecked(start..start + self.dim) }
     }
 
     /// The underlying flat row-major buffer.
     #[inline]
     pub fn as_flat(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Hints the CPU to pull vector `i` into cache (see [`crate::prefetch`]).
@@ -140,14 +165,14 @@ impl VectorSet {
     #[inline(always)]
     pub fn prefetch(&self, i: usize) {
         let start = i * self.dim;
-        if let Some(row) = self.data.get(start..start + self.dim) {
+        if let Some(row) = self.data.as_slice().get(start..start + self.dim) {
             crate::prefetch::prefetch_slice(row);
         }
     }
 
     /// Iterates over vectors in id order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
-        self.data.chunks_exact(self.dim)
+        self.data.as_slice().chunks_exact(self.dim)
     }
 
     /// Component-wise centroid of the set (the "centroid of the dataset" used
@@ -185,8 +210,8 @@ impl VectorSet {
         assert!(n <= self.len());
         let cut = n * self.dim;
         (
-            VectorSet::from_flat(self.dim, self.data[..cut].to_vec()),
-            VectorSet::from_flat(self.dim, self.data[cut..].to_vec()),
+            VectorSet::from_flat(self.dim, self.data.as_slice()[..cut].to_vec()),
+            VectorSet::from_flat(self.dim, self.data.as_slice()[cut..].to_vec()),
         )
     }
 
@@ -198,7 +223,7 @@ impl VectorSet {
     /// Panics if `n > self.len()`.
     pub fn prefix(&self, n: usize) -> VectorSet {
         assert!(n <= self.len());
-        VectorSet::from_flat(self.dim, self.data[..n * self.dim].to_vec())
+        VectorSet::from_flat(self.dim, self.data.as_slice()[..n * self.dim].to_vec())
     }
 
     /// Estimated resident memory of the raw vectors in bytes.

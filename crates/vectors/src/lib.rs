@@ -18,6 +18,8 @@
 //! * [`lid`] — the local intrinsic dimension estimator used in Table 1,
 //! * [`prefetch`] — software-prefetch primitives (no-op on unsupported
 //!   targets) that hide the gather latency of per-hop vector reads,
+//! * [`arena`] / [`mapped`] — arena storage that is either owned (`Vec`) or
+//!   a zero-copy view borrowed from a ref-counted mapped snapshot region,
 //! * [`store`] — the [`VectorStore`] abstraction the search hot loop is
 //!   generic over: asymmetric prepared-query distance evaluation, prefetch,
 //!   and memory accounting, monomorphized per backend,
@@ -32,11 +34,13 @@
 // (and, per the lint gate's R4, its own SAFETY comment).
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod arena;
 pub mod dataset;
 pub mod distance;
 pub mod ground_truth;
 pub mod io;
 pub mod lid;
+pub mod mapped;
 pub mod metrics;
 pub mod prefetch;
 pub mod quant;
@@ -44,10 +48,12 @@ pub mod sample;
 pub mod store;
 pub mod synthetic;
 
+pub use arena::{Arena, ArenaElem, ArenaError};
 pub use dataset::VectorSet;
+pub use mapped::MappedRegion;
 pub use distance::{CountingDistance, Distance, DistanceKind, Euclidean, InnerProduct, SquaredEuclidean};
 pub use ground_truth::{exact_knn, exact_knn_single, GroundTruth};
 pub use prefetch::{prefetch_read, prefetch_slice};
 pub use metrics::{precision_at_k, recall_curve};
-pub use quant::Sq8VectorSet;
+pub use quant::{Sq8PartsError, Sq8VectorSet};
 pub use store::{QueryScratch, VectorStore};

@@ -1,0 +1,65 @@
+//! Ref-counted read-only byte regions that [`crate::arena::Arena`] views
+//! borrow from.
+//!
+//! A [`MappedRegion`] is the unit of snapshot lifetime: every arena borrowed
+//! from it holds an `Arc<MappedRegion>`, so the mapping (or its aligned-copy
+//! fallback) is released exactly when the last view — typically the last
+//! in-flight query's index handle — drops. The base address is always at
+//! least 64-byte aligned (`mmap(2)` returns page-aligned addresses; the
+//! fallback allocates at [`mmap::BASE_ALIGN`]), which is what lets the
+//! snapshot format guarantee per-section element alignment with plain offset
+//! arithmetic.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A read-only byte region arenas can borrow from: an `mmap(2)`'d file, its
+/// read-into-aligned-buffer fallback, or an in-memory aligned copy.
+#[derive(Debug)]
+pub struct MappedRegion {
+    map: mmap::Mmap,
+}
+
+impl MappedRegion {
+    /// Maps `path` read-only (falling back to an aligned copy where `mmap(2)`
+    /// is unavailable) and wraps it in the shared refcount.
+    pub fn open(path: &Path) -> io::Result<Arc<MappedRegion>> {
+        Ok(Arc::new(MappedRegion { map: mmap::Mmap::open(path)? }))
+    }
+
+    /// Opens `path` through the portable fallback unconditionally — the file
+    /// is copied into a 64-byte-aligned buffer. Exercises the non-mmap code
+    /// path deterministically on any platform.
+    pub fn open_unmapped(path: &Path) -> io::Result<Arc<MappedRegion>> {
+        Ok(Arc::new(MappedRegion { map: mmap::Mmap::open_unmapped(path)? }))
+    }
+
+    /// Wraps an in-memory image in an aligned region (an O(len) copy), so
+    /// freshly serialized bytes and test fixtures go through the exact same
+    /// borrow machinery as mapped files.
+    pub fn from_bytes(bytes: &[u8]) -> Arc<MappedRegion> {
+        Arc::new(MappedRegion { map: mmap::Mmap::copy_from_slice(bytes) })
+    }
+
+    /// The region's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.map.as_slice()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether the region is a live `mmap(2)` mapping (`false` for the
+    /// aligned-copy fallback and in-memory images).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+}

@@ -20,6 +20,7 @@
 //! 8-lane chunks with independent accumulators so LLVM auto-vectorizes the
 //! `u8 → f32` widening loops without `unsafe` or per-architecture intrinsics.
 
+use crate::arena::Arena;
 use crate::distance::{Distance, DistanceKind};
 use crate::store::{QueryScratch, VectorStore};
 use crate::VectorSet;
@@ -126,12 +127,44 @@ pub fn adc_accumulate(tables: &[f32], width: usize, codes: &[u8]) -> f32 {
 pub struct Sq8VectorSet {
     dim: usize,
     /// Per-dimension lower bound of the code range.
-    min: Vec<f32>,
+    min: Arena<f32>,
     /// Per-dimension code step; reconstruction is `min + scale · code`.
-    scale: Vec<f32>,
+    scale: Arena<f32>,
     /// Row-major code arena, `dim` bytes per vector.
-    codes: Vec<u8>,
+    codes: Arena<u8>,
 }
+
+/// Why [`Sq8VectorSet::try_from_parts`] rejected its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sq8PartsError {
+    /// `dim == 0` is unrepresentable.
+    ZeroDimension,
+    /// `min` is not `dim`-sized.
+    MinLength { expected: usize, got: usize },
+    /// `scale` is not `dim`-sized.
+    ScaleLength { expected: usize, got: usize },
+    /// The code arena is not a whole number of `dim`-byte rows.
+    RaggedCodes { len: usize, dim: usize },
+}
+
+impl fmt::Display for Sq8PartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sq8PartsError::ZeroDimension => write!(f, "vector dimension must be positive"),
+            Sq8PartsError::MinLength { expected, got } => {
+                write!(f, "min parameters have length {got}, expected dim {expected}")
+            }
+            Sq8PartsError::ScaleLength { expected, got } => {
+                write!(f, "scale parameters have length {got}, expected dim {expected}")
+            }
+            Sq8PartsError::RaggedCodes { len, dim } => {
+                write!(f, "code arena length {len} is not a multiple of dim {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Sq8PartsError {}
 
 impl fmt::Debug for Sq8VectorSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -183,25 +216,67 @@ impl Sq8VectorSet {
                 codes.push(code);
             }
         }
-        Self { dim, min, scale, codes }
+        Self {
+            dim,
+            min: Arena::from_vec(min),
+            scale: Arena::from_vec(scale),
+            codes: Arena::from_vec(codes),
+        }
     }
 
     /// Reassembles a store from its raw parts (the deserialization path).
     ///
     /// # Panics
     /// Panics if `dim == 0`, the parameter arrays are not `dim`-sized, or the
-    /// code arena is not a multiple of `dim`.
+    /// code arena is not a multiple of `dim`. Decode paths handling untrusted
+    /// bytes must use [`Sq8VectorSet::try_from_parts`] instead.
     pub fn from_parts(dim: usize, min: Vec<f32>, scale: Vec<f32>, codes: Vec<u8>) -> Self {
-        assert!(dim > 0, "vector dimension must be positive");
-        assert_eq!(min.len(), dim, "min parameters do not match the dimension");
-        assert_eq!(scale.len(), dim, "scale parameters do not match the dimension");
-        assert!(
-            codes.len().is_multiple_of(dim),
-            "code arena length {} is not a multiple of dim {}",
-            codes.len(),
-            dim
-        );
-        Self { dim, min, scale, codes }
+        match Self::try_from_arenas(dim, min.into(), scale.into(), codes.into()) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"), // lint:allow(no-panic): documented panicking constructor for trusted builder inputs; decode paths use try_from_parts
+        }
+    }
+
+    /// Fallible [`Sq8VectorSet::from_parts`]: malformed inputs surface as a
+    /// typed error instead of a panic, so corrupt snapshots are reported, not
+    /// aborted on.
+    pub fn try_from_parts(
+        dim: usize,
+        min: Vec<f32>,
+        scale: Vec<f32>,
+        codes: Vec<u8>,
+    ) -> Result<Self, Sq8PartsError> {
+        Self::try_from_arenas(dim, min.into(), scale.into(), codes.into())
+    }
+
+    /// Arena-level constructor behind both `from_parts` flavors; accepts
+    /// owned vectors and zero-copy views borrowed from a mapped snapshot
+    /// region alike.
+    pub fn try_from_arenas(
+        dim: usize,
+        min: Arena<f32>,
+        scale: Arena<f32>,
+        codes: Arena<u8>,
+    ) -> Result<Self, Sq8PartsError> {
+        if dim == 0 {
+            return Err(Sq8PartsError::ZeroDimension);
+        }
+        if min.len() != dim {
+            return Err(Sq8PartsError::MinLength { expected: dim, got: min.len() });
+        }
+        if scale.len() != dim {
+            return Err(Sq8PartsError::ScaleLength { expected: dim, got: scale.len() });
+        }
+        if !codes.len().is_multiple_of(dim) {
+            return Err(Sq8PartsError::RaggedCodes { len: codes.len(), dim });
+        }
+        Ok(Self { dim, min, scale, codes })
+    }
+
+    /// Whether the codes and affine parameters are borrowed from a mapped
+    /// region rather than owned by this store.
+    pub fn is_borrowed(&self) -> bool {
+        self.codes.is_borrowed()
     }
 
     /// Number of encoded vectors.
@@ -229,26 +304,26 @@ impl Sq8VectorSet {
     #[inline]
     pub fn code(&self, i: usize) -> &[u8] {
         let start = i * self.dim;
-        &self.codes[start..start + self.dim]
+        &self.codes.as_slice()[start..start + self.dim]
     }
 
     /// Per-dimension lower bounds of the code ranges.
     #[inline]
     pub fn mins(&self) -> &[f32] {
-        &self.min
+        self.min.as_slice()
     }
 
     /// Per-dimension code steps. The reconstruction error of dimension `i`
     /// is at most `scales()[i] / 2` (plus float rounding).
     #[inline]
     pub fn scales(&self) -> &[f32] {
-        &self.scale
+        self.scale.as_slice()
     }
 
     /// The raw row-major code arena.
     #[inline]
     pub fn as_codes(&self) -> &[u8] {
-        &self.codes
+        self.codes.as_slice()
     }
 
     /// Decodes vector `i` into `out` (`minᵢ + scaleᵢ·code`).
@@ -260,7 +335,7 @@ impl Sq8VectorSet {
         for ((o, &c), (&lo, &s)) in out
             .iter_mut()
             .zip(self.code(i))
-            .zip(self.min.iter().zip(&self.scale))
+            .zip(self.min.as_slice().iter().zip(self.scale.as_slice()))
         {
             *o = lo + s * f32::from(c);
         }
@@ -289,7 +364,7 @@ impl VectorStore for Sq8VectorSet {
     #[inline]
     fn prefetch(&self, id: usize) {
         let start = id * self.dim;
-        if let Some(row) = self.codes.get(start..start + self.dim) {
+        if let Some(row) = self.codes.as_slice().get(start..start + self.dim) {
             crate::prefetch::prefetch_bytes(row);
         }
     }
@@ -307,14 +382,14 @@ impl VectorStore for Sq8VectorSet {
             // l2 family: shift the min subtraction onto the query once.
             DistanceKind::SquaredEuclidean | DistanceKind::Euclidean => {
                 let buf = scratch.reset(query.len(), metric.kind(), 0.0);
-                buf.extend(query.iter().zip(&self.min).map(|(&q, &lo)| q - lo));
+                buf.extend(query.iter().zip(self.min.as_slice()).map(|(&q, &lo)| q - lo));
             }
             // Inner product: −Σ qᵢ(minᵢ + scaleᵢcᵢ) = −(bias + Σ wᵢcᵢ) with
             // wᵢ = qᵢ·scaleᵢ and bias = Σ qᵢ·minᵢ folded here.
             DistanceKind::InnerProduct => {
                 let buf = scratch.reset(query.len(), metric.kind(), 0.0);
-                buf.extend(query.iter().zip(&self.scale).map(|(&q, &s)| q * s));
-                let bias: f32 = query.iter().zip(&self.min).map(|(&q, &lo)| q * lo).sum();
+                buf.extend(query.iter().zip(self.scale.as_slice()).map(|(&q, &s)| q * s));
+                let bias: f32 = query.iter().zip(self.min.as_slice()).map(|(&q, &lo)| q * lo).sum();
                 scratch.set_bias(bias);
             }
         }

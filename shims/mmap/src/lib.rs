@@ -1,0 +1,330 @@
+//! Offline stand-in for a memory-mapping crate (the subset of `memmap2`'s
+//! API the workspace consumes).
+//!
+//! [`Mmap::open`] maps a file read-only and derefs to `&[u8]`. Two backends
+//! sit behind the identical API:
+//!
+//! - **Linux**: a hand-written `extern "C"` binding to `mmap(2)`/`munmap(2)`.
+//!   The kernel returns page-aligned mappings (≥ 4 KiB), so the base address
+//!   satisfies any alignment the snapshot format needs.
+//! - **Fallback** (any platform, or on `mmap` failure): the file is read into
+//!   a 64-byte-aligned heap buffer. Same API, same alignment guarantee, just
+//!   an O(file) copy at open time.
+//!
+//! Which backend is live is observable via [`Mmap::is_mapped`], and the
+//! fallback can be forced with [`Mmap::open_unmapped`] so tests exercise both
+//! paths on every platform.
+//!
+//! Mappings are immutable (`PROT_READ`, `MAP_PRIVATE`) and the struct is
+//! `Send + Sync`; callers share it behind an `Arc` and the last clone's drop
+//! unmaps (or frees) the region.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Alignment guaranteed for the base address of every backing buffer.
+///
+/// `mmap(2)` returns page-aligned addresses; the fallback allocates with this
+/// alignment explicitly. 64 bytes = one cache line, and the largest alignment
+/// any snapshot section requires.
+pub const BASE_ALIGN: usize = 64;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Hand-written binding for the two syscalls this shim needs. Signatures
+    //! match `man 2 mmap` on x86-64/AArch64 Linux, where `off_t` is 64-bit.
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut core::ffi::c_void = usize::MAX as *mut core::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+enum Backing {
+    /// A live `mmap(2)` mapping: base pointer and mapped length.
+    #[cfg(target_os = "linux")]
+    Mapped { ptr: *const u8, len: usize },
+    /// Fallback: the file contents copied into a 64-byte-aligned heap buffer.
+    /// `len == 0` is represented with a dangling (never dereferenced) pointer
+    /// and no allocation.
+    Owned { ptr: *const u8, len: usize },
+}
+
+/// A read-only view of a whole file, either memory-mapped or copied into an
+/// aligned buffer. Derefs to `&[u8]`.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the backing region is immutable for the lifetime of the struct
+// (PROT_READ private mapping, or a heap buffer no one else can reach), so
+// sharing references across threads is safe; the struct owns the region
+// exclusively, so moving it across threads is safe too.
+unsafe impl Send for Mmap {}
+// SAFETY: see the Send impl above — the region is immutable and owned.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only. On Linux this uses `mmap(2)`; elsewhere (or if
+    /// the syscall fails, e.g. on a filesystem that cannot map) it falls back
+    /// to [`Mmap::open_unmapped`].
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        #[cfg(target_os = "linux")]
+        {
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+            // mmap(2) rejects zero-length mappings with EINVAL; an empty file
+            // needs no backing storage at all.
+            if len == 0 {
+                return Ok(Mmap { backing: Backing::Owned { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 } });
+            }
+            use std::os::unix::io::AsRawFd;
+            let fd = file.as_raw_fd();
+            // SAFETY: `fd` is a valid open descriptor (`File` outlives the
+            // call), `len` is the exact file length, and this requests a
+            // fresh private read-only mapping at a kernel-chosen address,
+            // valid until `munmap` in `Drop`. Closing the fd afterwards is
+            // fine: POSIX keeps the mapping alive independently of it.
+            let ptr = unsafe {
+                sys::mmap(std::ptr::null_mut(), len, sys::PROT_READ, sys::MAP_PRIVATE, fd, 0)
+            };
+            if ptr != sys::MAP_FAILED {
+                return Ok(Mmap { backing: Backing::Mapped { ptr: ptr as *const u8, len } });
+            }
+            // Fall through to the portable copy on failure.
+        }
+        Self::read_into_aligned(file)
+    }
+
+    /// Opens `path` through the portable fallback unconditionally: the file
+    /// is copied into a 64-byte-aligned buffer. Useful for exercising the
+    /// non-mmap path in tests and on platforms without `mmap(2)`.
+    pub fn open_unmapped(path: &Path) -> io::Result<Mmap> {
+        Self::read_into_aligned(File::open(path)?)
+    }
+
+    /// Copies `bytes` into a fresh 64-byte-aligned buffer behind the same
+    /// API. Lets callers treat in-memory images (tests, freshly serialized
+    /// snapshots) identically to mapped files.
+    pub fn copy_from_slice(bytes: &[u8]) -> Mmap {
+        let Ok(m) = Self::alloc_aligned(bytes.len()) else {
+            // Only reachable when `bytes.len()` rounded to the alignment
+            // overflows isize — impossible for a slice that already exists.
+            unreachable!("slice length always forms a valid layout")
+        };
+        if let Backing::Owned { ptr, len } = &m.backing {
+            if *len > 0 {
+                // SAFETY: `ptr` points at `len == bytes.len()` freshly
+                // allocated bytes disjoint from `bytes`; both regions are
+                // valid for the full copy.
+                unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), *ptr as *mut u8, *len) };
+            }
+        }
+        m
+    }
+
+    /// Allocates an uninitialized owned backing of `len` bytes at
+    /// [`BASE_ALIGN`]. The caller must fill it before the buffer escapes.
+    fn alloc_aligned(len: usize) -> io::Result<Mmap> {
+        if len == 0 {
+            return Ok(Mmap { backing: Backing::Owned { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 } });
+        }
+        let layout = std::alloc::Layout::from_size_align(len, BASE_ALIGN)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to buffer"))?;
+        // SAFETY: `layout` has non-zero size (len > 0 checked above) and a
+        // valid power-of-two alignment.
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Ok(Mmap { backing: Backing::Owned { ptr, len } })
+    }
+
+    fn read_into_aligned(mut file: File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds usize"))?;
+        let m = Self::alloc_aligned(len)?;
+        if len > 0 {
+            let Backing::Owned { ptr, .. } = &m.backing else {
+                unreachable!("alloc_aligned always returns an owned backing")
+            };
+            let ptr = *ptr;
+            // SAFETY: `ptr` points at `len` freshly allocated bytes that
+            // nothing else references yet; `m` owns them and frees them on
+            // drop (including the early-return error path below).
+            let buf = unsafe { std::slice::from_raw_parts_mut(ptr as *mut u8, len) };
+            file.read_exact(buf)?;
+        }
+        Ok(m)
+    }
+
+    /// Whether this region is a live `mmap(2)` mapping (`true`) or the
+    /// aligned-copy fallback (`false`).
+    pub fn is_mapped(&self) -> bool {
+        match self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { .. } => true,
+            Backing::Owned { .. } => false,
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        let (ptr, len) = match self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { ptr, len } => (ptr, len),
+            Backing::Owned { ptr, len } => (ptr, len),
+        };
+        // SAFETY: `ptr` points at `len` initialized, immutable bytes owned by
+        // this struct (mapping or heap buffer), valid for `&self`'s lifetime.
+        unsafe { std::slice::from_raw_parts(ptr, len) }
+    }
+
+    /// Length of the region in bytes.
+    pub fn len(&self) -> usize {
+        match self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { len, .. } => len,
+            Backing::Owned { len, .. } => len,
+        }
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: `ptr`/`len` are exactly what `mmap` returned for
+                // this still-live mapping; no `&[u8]` borrows can outlive
+                // `self` (Deref ties them to the struct's lifetime).
+                unsafe {
+                    sys::munmap(ptr as *mut core::ffi::c_void, len);
+                }
+            }
+            Backing::Owned { ptr, len } => {
+                if len > 0 {
+                    // SAFETY: the buffer was allocated in `read_into_aligned`
+                    // with this exact (size, BASE_ALIGN) layout and is freed
+                    // exactly once, here.
+                    unsafe {
+                        let layout = std::alloc::Layout::from_size_align_unchecked(len, BASE_ALIGN);
+                        std::alloc::dealloc(ptr as *mut u8, layout);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mmap-shim-{}-{}", std::process::id(), name));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_and_fallback_see_identical_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = temp_file("identical", &data);
+        let mapped = Mmap::open(&path).unwrap();
+        let copied = Mmap::open_unmapped(&path).unwrap();
+        assert_eq!(&*mapped, &data[..]);
+        assert_eq!(&*copied, &data[..]);
+        assert!(!copied.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn base_address_is_aligned() {
+        let path = temp_file("aligned", &[7u8; 4096]);
+        for m in [Mmap::open(&path).unwrap(), Mmap::open_unmapped(&path).unwrap()] {
+            assert_eq!(m.as_slice().as_ptr() as usize % BASE_ALIGN, 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", &[]);
+        for m in [Mmap::open(&path).unwrap(), Mmap::open_unmapped(&path).unwrap()] {
+            assert!(m.is_empty());
+            assert_eq!(m.len(), 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn copy_from_slice_is_aligned_and_identical() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let m = Mmap::copy_from_slice(&data);
+        assert_eq!(&*m, &data[..]);
+        assert_eq!(m.as_slice().as_ptr() as usize % BASE_ALIGN, 0);
+        assert!(!m.is_mapped());
+        let empty = Mmap::copy_from_slice(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let mut path = std::env::temp_dir();
+        path.push("mmap-shim-definitely-missing");
+        assert!(Mmap::open(&path).is_err());
+        assert!(Mmap::open_unmapped(&path).is_err());
+    }
+
+    #[test]
+    fn linux_open_prefers_the_real_mapping() {
+        let path = temp_file("prefers", &[1u8; 64]);
+        let m = Mmap::open(&path).unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(m.is_mapped());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

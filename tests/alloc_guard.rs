@@ -423,3 +423,67 @@ fn served_query_round_trip_is_allocation_free_after_warmup() {
     assert!(cold > 0, "global tracking failed to observe cold-server allocations");
     server.shutdown();
 }
+
+#[test]
+fn served_query_over_a_mapped_snapshot_is_allocation_free_after_warmup() {
+    // The zero-copy form of the served guard: the index behind the handle is
+    // an NSG2 snapshot hot-swapped in via `swap_snapshot` — every arena a
+    // borrowed view into the mapped file. Arena reads must stay branch-free
+    // pointer/len loads; the whole served round trip on the mapped
+    // generation must be as allocation-free as the owned one.
+    use nsg::core::snapshot::write_quantized_snapshot;
+    use nsg::serve::{ResponseSlot, Server, ServerConfig};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("nsg_alloc_guard_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 1200, 40, 19);
+    let base = Arc::new(base);
+    let index = NsgIndex::build(
+        Arc::clone(&base),
+        SquaredEuclidean,
+        NsgParams {
+            build_pool_size: 40,
+            max_degree: 20,
+            knn: NnDescentParams { k: 30, ..Default::default() },
+            reverse_insert: true,
+            seed: 31,
+        },
+    )
+    .quantize_sq8();
+    let path = dir.join("served.nsg2");
+    write_quantized_snapshot(&path, &index).unwrap();
+
+    let server = Server::start(
+        Arc::new(index),
+        ServerConfig { workers: 2, queue_capacity: 64, max_batch: 4 },
+    );
+    server.handle().swap_snapshot(&path).expect("snapshot must swap in");
+    assert_eq!(server.handle().generation(), 1);
+    let request = SearchRequest::new(10).with_effort(100).with_rerank(4).with_stats();
+    let slot = Arc::new(ResponseSlot::new());
+
+    // Warm-up on the mapped generation: worker contexts re-size for the
+    // swapped index, slot buffers materialize.
+    for q in 0..24 {
+        server.try_submit(&slot, queries.get(q % queries.len()), &request, None).unwrap();
+        let response = slot.wait().unwrap();
+        assert_eq!(response.generation(), 1, "query served off the pre-swap generation");
+        assert_eq!(response.neighbors().len(), 10);
+    }
+
+    let allocations = count_allocations_global(|| {
+        for q in 0..queries.len() {
+            server.try_submit(&slot, queries.get(q), &request, None).unwrap();
+            let response = slot.wait().unwrap();
+            assert_eq!(response.neighbors().len(), 10);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "mapped-snapshot served round trip allocated {allocations} times across {} queries after warm-up",
+        queries.len()
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
