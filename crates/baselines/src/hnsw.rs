@@ -328,8 +328,13 @@ impl<D: Distance + Sync, S: VectorStore> HnswIndex<D, S> {
             let current = pool.mark_checked(idx);
             stats.hops += 1;
             // Same next-candidate vector prefetch as the shared Algorithm 1
-            // loop: hide the gather latency of the per-hop reads.
-            for u in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), store) {
+            // loop (plus a per-hop re-hint of the prepared-query lines):
+            // hide the gather latency of the per-hop reads.
+            for u in nsg_vectors::prefetch::lookahead_ids_with_query(
+                graph.neighbors(current),
+                store,
+                scratch.prepared(),
+            ) {
                 if !visited.insert(u) {
                     continue;
                 }

@@ -24,7 +24,6 @@ use nsg_core::index::{AnnIndex, SearchRequest};
 use nsg_core::neighbor::Neighbor;
 use nsg_core::search::SearchStats;
 use nsg_vectors::distance::{squared_l2, Distance};
-use nsg_vectors::quant::adc_accumulate;
 use nsg_vectors::VectorSet;
 use std::sync::Arc;
 
@@ -181,6 +180,10 @@ impl<D: Distance> IvfPq<D> {
         // entries per sub-space, one contiguous `f32` block per probed list.
         let width = self.params.codebook_size;
         let mut tables: Vec<f32> = Vec::with_capacity(num_sub * width);
+        // Resolve the ADC kernel once for the whole probe sweep (one table
+        // read), not per posted vector: on AVX2 this is the 8-wide gather
+        // kernel when `width >= 256`.
+        let adc = nsg_vectors::simd::kernels().adc_accumulate;
         for list_id in probes {
             let centroid = self.coarse.centroids().get(list_id);
             let residual: Vec<f32> = query.iter().zip(centroid).map(|(x, y)| x - y).collect();
@@ -200,7 +203,7 @@ impl<D: Distance> IvfPq<D> {
                 }));
             }
             for posted in &self.lists[list_id] {
-                let d = adc_accumulate(&tables, width, &posted.code);
+                let d = adc(&tables, width, &posted.code);
                 cost += 1;
                 scanned += 1;
                 scored.push(Neighbor::new(posted.id, d));

@@ -12,6 +12,7 @@
 //!   add the two-phase exact-rerank tail (`r = 4`) on top.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsg_vectors::simd::{kernels, scalar_table};
 use nsg_bench::common::output_dir;
 use nsg_core::context::SearchContext;
 use nsg_core::index::{AnnIndex, SearchRequest};
@@ -52,6 +53,102 @@ fn bench_kernels(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// Best-of-3 mean ns per call of `f` swept across `n` calls per repeat.
+fn best_of_3_ns(n: usize, mut f: impl FnMut(usize)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        for i in 0..n {
+            f(i);
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / n as f64);
+    }
+    best
+}
+
+/// Scalar-versus-detected comparison of every entry in the kernel table,
+/// written as a registry snapshot to `BENCH_distance_kernels.json` at the
+/// repository root — the committed perf-trajectory artifact. Gauges:
+/// `kernel_<name>_scalar_ns`, `kernel_<name>_<level>_ns`, and
+/// `kernel_<name>_speedup` (scalar ns / detected ns) for all five kernels.
+fn bench_kernel_table(c: &mut Criterion) {
+    let _ = c; // measurement is wall-clock best-of-3, not criterion-sampled
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 2048, 4, 31);
+    let store = Sq8VectorSet::encode(&base);
+    let q = queries.get(0);
+    let mut l2_scratch = QueryScratch::new();
+    store.prepare_query(&SquaredEuclidean, q, &mut l2_scratch);
+    let mut ip_scratch = QueryScratch::new();
+    store.prepare_query(&nsg_vectors::distance::InnerProduct, q, &mut ip_scratch);
+
+    // ADC inputs at the gather width: 16 subquantizers × 256 centroids.
+    let adc_width = 256usize;
+    let adc_m = 16usize;
+    let adc_tables: Vec<f32> =
+        (0..adc_width * adc_m).map(|i| (i % 1000) as f32 / 250.0).collect();
+    let adc_codes: Vec<Vec<u8>> = (0..base.len())
+        .map(|r| (0..adc_m).map(|m| ((r * 31 + m * 7) % adc_width) as u8).collect())
+        .collect();
+
+    let scalar = scalar_table();
+    let detected = kernels();
+    let registry = nsg_obs::Registry::new();
+    let n = base.len();
+    let mut sink = 0.0f32;
+
+    for (name, scalar_ns, simd_ns) in [
+        (
+            "squared_l2",
+            best_of_3_ns(n, |i| sink += (scalar.squared_l2)(q, base.get(i))),
+            best_of_3_ns(n, |i| sink += (detected.squared_l2)(q, base.get(i))),
+        ),
+        (
+            "dot",
+            best_of_3_ns(n, |i| sink += (scalar.dot)(q, base.get(i))),
+            best_of_3_ns(n, |i| sink += (detected.dot)(q, base.get(i))),
+        ),
+        (
+            "sq8_asym_l2",
+            best_of_3_ns(n, |i| {
+                sink += (scalar.sq8_asym_l2)(l2_scratch.prepared(), store.scales(), store.code(i))
+            }),
+            best_of_3_ns(n, |i| {
+                sink += (detected.sq8_asym_l2)(l2_scratch.prepared(), store.scales(), store.code(i))
+            }),
+        ),
+        (
+            "sq8_asym_dot",
+            best_of_3_ns(n, |i| sink += (scalar.sq8_asym_dot)(ip_scratch.prepared(), store.code(i))),
+            best_of_3_ns(n, |i| sink += (detected.sq8_asym_dot)(ip_scratch.prepared(), store.code(i))),
+        ),
+        (
+            "adc_accumulate",
+            best_of_3_ns(n, |i| sink += (scalar.adc_accumulate)(&adc_tables, adc_width, &adc_codes[i])),
+            best_of_3_ns(n, |i| sink += (detected.adc_accumulate)(&adc_tables, adc_width, &adc_codes[i])),
+        ),
+    ] {
+        registry.gauge(&format!("kernel_{name}_scalar_ns")).set(scalar_ns);
+        registry.gauge(&format!("kernel_{name}_{}_ns", detected.level)).set(simd_ns);
+        registry.gauge(&format!("kernel_{name}_speedup")).set(scalar_ns / simd_ns);
+        println!(
+            "kernel/{name}: scalar {scalar_ns:.1} ns, {} {simd_ns:.1} ns ({:.2}x)",
+            detected.level,
+            scalar_ns / simd_ns
+        );
+    }
+    black_box(sink);
+
+    // Committed at the repository root: the kernel perf trajectory the CI
+    // thresholds in ISSUE 10 are checked against.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_distance_kernels.json");
+    if let Err(e) = std::fs::write(&path, registry.snapshot_json()) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
 }
 
 fn bench_traversal(c: &mut Criterion) {
@@ -187,6 +284,6 @@ fn bench_traversal(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_kernels, bench_traversal
+    targets = bench_kernels, bench_kernel_table, bench_traversal
 }
 criterion_main!(benches);

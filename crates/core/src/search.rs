@@ -197,7 +197,9 @@ fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Siz
     // Stage timers are `None` (no clock read, no store) unless the context's
     // tracer was armed for this query by the index entry point.
     let seed_timer = ctx.tracer.begin();
-    for s in nsg_vectors::prefetch::lookahead_ids(start_nodes, store) {
+    for s in
+        nsg_vectors::prefetch::lookahead_ids_with_query(start_nodes, store, ctx.query_scratch.prepared())
+    {
         if (s as usize) < store.len() && ctx.visited.insert(s) {
             let d = store.dist_to(metric, &ctx.query_scratch, s as usize);
             ctx.stats.distance_computations += 1;
@@ -220,7 +222,14 @@ fn run_search<G: GraphView + ?Sized, S: VectorStore + ?Sized, D: Distance + ?Siz
         // Hop-expansion gather: while the store scores candidate `n`, the
         // next candidate's stored vector is already being pulled into cache —
         // the prefetch discipline the released NSG/HNSW search loops use.
-        for n in nsg_vectors::prefetch::lookahead_ids(graph.neighbors(current), store) {
+        // The prepared-query lines are re-hinted per hop too: `dist_to`
+        // streams them against every candidate, and neighbor-row traffic
+        // can evict them between hops.
+        for n in nsg_vectors::prefetch::lookahead_ids_with_query(
+            graph.neighbors(current),
+            store,
+            ctx.query_scratch.prepared(),
+        ) {
             if !ctx.visited.insert(n) {
                 continue;
             }
@@ -259,8 +268,14 @@ pub fn exact_rerank<D: Distance + ?Sized>(
     query: &[f32],
     k: usize,
 ) {
+    // Re-prepare the scratch against the exact rows: the traversal that
+    // filled `ctx.results` is done with its (possibly quantized) prepared
+    // form, and routing the rescore through the store protocol keeps it on
+    // the SIMD kernel table the scratch caches. Allocation-free warm: the
+    // scratch buffer already holds >= dim capacity from the traversal.
+    rows.prepare_query(metric, query, &mut ctx.query_scratch);
     for nb in ctx.results.iter_mut() {
-        nb.dist = metric.distance(query, rows.get(nb.id as usize));
+        nb.dist = rows.dist_to(metric, &ctx.query_scratch, nb.id as usize);
     }
     ctx.stats.distance_computations += ctx.results.len() as u64;
     ctx.results.sort_unstable_by(Neighbor::ordering);

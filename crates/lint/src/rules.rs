@@ -1,4 +1,4 @@
-//! The rule set: seven token-level checks encoding the ROADMAP contracts.
+//! The rule set: eight token-level checks encoding the ROADMAP contracts.
 //!
 //! | rule | name                 | contract |
 //! |------|----------------------|----------|
@@ -9,6 +9,7 @@
 //! | R5   | `std-sync`           | raw `std::sync` primitives / `thread::spawn` only in `shims/` + `crates/serve` |
 //! | R6   | `no-panic`           | no `unwrap()` / `expect()` / `panic!` in library code |
 //! | R7   | `dyn-distance`       | no `dyn Distance` / `.metric()` outside the audited dispatch module |
+//! | R8   | `simd-dispatch`      | `#[target_feature]` only in the SIMD module; no kernel-table resolution in hot regions |
 //!
 //! All rules run over the analyzed token stream of [`SourceFile`], so text
 //! inside strings and comments can never fire them. Suppression via
@@ -19,7 +20,7 @@ use crate::lexer::TokenKind;
 use crate::{FileClass, Finding, SourceFile};
 
 /// Names accepted by `lint:allow(...)`.
-pub const KNOWN_RULES: [&str; 7] = [
+pub const KNOWN_RULES: [&str; 8] = [
     "params-construction",
     "hot-path-alloc",
     "checked-narrowing",
@@ -27,6 +28,7 @@ pub const KNOWN_RULES: [&str; 7] = [
     "std-sync",
     "no-panic",
     "dyn-distance",
+    "simd-dispatch",
 ];
 
 /// One row of the rule table, for `--help`-style output and the README.
@@ -35,8 +37,8 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// Rule descriptions in R1..R7 order.
-pub const RULES: [RuleInfo; 7] = [
+/// Rule descriptions in R1..R8 order.
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         name: "params-construction",
         summary: "SearchParams may only be constructed in nsg-core's request/search modules",
@@ -64,6 +66,10 @@ pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         name: "dyn-distance",
         summary: "no `dyn Distance` / `.metric()` call sites outside the audited dispatch module",
+    },
+    RuleInfo {
+        name: "simd-dispatch",
+        summary: "`#[target_feature]` only inside the SIMD module; no kernel-table resolution in hot-path regions",
     },
 ];
 
@@ -103,6 +109,7 @@ pub fn check_file(sf: &SourceFile<'_>) -> Vec<Finding> {
     r5_std_sync(sf, &mut out);
     r6_no_panic(sf, &mut out);
     r7_dyn_distance(sf, &mut out);
+    r8_simd_dispatch(sf, &mut out);
     out
 }
 
@@ -369,6 +376,52 @@ fn r7_dyn_distance(sf: &SourceFile<'_>, out: &mut Vec<Finding>) {
                 "dyn-distance",
                 sf.code_line(ci),
                 "`.metric()` call outside the audited dispatch module".to_string(),
+            ));
+        }
+    }
+}
+
+/// The one module allowed to write `#[target_feature]` kernels: the SIMD
+/// dispatch layer, where every such function is reachable only through the
+/// runtime-detection table.
+const R8_EXEMPT_FILES: [&str; 1] = ["crates/vectors/src/simd.rs"];
+
+/// Identifiers that resolve or re-check the kernel table / CPU features.
+/// Fine on setup paths; forbidden inside `lint:hot-path` regions, where the
+/// table must already have been resolved (at `prepare_query` at the latest).
+const R8_DETECT_IDENTS: [&str; 4] =
+    ["kernels", "table_for", "is_x86_feature_detected", "is_aarch64_feature_detected"];
+
+/// R8: SIMD dispatch discipline. Two arms:
+///
+/// 1. `#[target_feature]` outside the audited SIMD module — unsafe-to-call
+///    kernels must only exist where the detection-table invariant (installed
+///    after runtime feature checks) justifies them.
+/// 2. Kernel-table resolution (`kernels()`, `table_for()`, the `std::arch`
+///    feature-detection macros) inside a `lint:hot-path` region — selection
+///    must happen outside the per-candidate loop.
+fn r8_simd_dispatch(sf: &SourceFile<'_>, out: &mut Vec<Finding>) {
+    let exempt = R8_EXEMPT_FILES.contains(&sf.rel_path.as_str()) || is_shim(sf);
+    for ci in 0..sf.code.len() {
+        if sf.code_kind(ci) != TokenKind::Ident {
+            continue;
+        }
+        let t = sf.code_text(ci);
+        if !exempt && t == "target_feature" {
+            out.push(finding(
+                sf,
+                "simd-dispatch",
+                sf.code_line(ci),
+                "`#[target_feature]` outside crates/vectors/src/simd.rs — SIMD kernels live behind the detection table".to_string(),
+            ));
+        } else if R8_DETECT_IDENTS.contains(&t) && sf.code_in_hot(ci) {
+            out.push(finding(
+                sf,
+                "simd-dispatch",
+                sf.code_line(ci),
+                format!(
+                    "`{t}` inside a lint:hot-path region — resolve the kernel table per prepare_query, not per candidate"
+                ),
             ));
         }
     }

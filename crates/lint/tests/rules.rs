@@ -1,4 +1,4 @@
-//! Per-rule coverage: for each of R1–R7 one violating snippet and one
+//! Per-rule coverage: for each of R1–R8 one violating snippet and one
 //! allowed/suppressed snippet, plus the directive edge cases (bad allows,
 //! trailing vs standalone targeting).
 
@@ -126,6 +126,37 @@ fn r7_flags_dyn_distance_outside_dispatch_module() {
     );
     // Other trait objects are not R7's business.
     assert_eq!(rules_at(LIB, "fn f(w: &mut dyn Write) {}"), [] as [&str; 0]);
+}
+
+#[test]
+fn r8_flags_target_feature_outside_the_simd_module() {
+    let src = "/// # Safety\n/// AVX2 required.\n#[target_feature(enable = \"avx2\")]\nunsafe fn fast(a: &[f32]) -> f32 { 0.0 }";
+    assert_eq!(rules_at(LIB, src), ["simd-dispatch"]);
+    // The audited SIMD module is the one sanctioned home (its own `unsafe`
+    // hygiene is R4's business, so feed it a justified snippet).
+    let src = "/// # Safety\n/// AVX2 detected by the table.\n#[target_feature(enable = \"avx2\")]\npub unsafe fn fast(a: &[f32]) -> f32 { 0.0 }";
+    assert_eq!(rules_at("crates/vectors/src/simd.rs", src), [] as [&str; 0]);
+    // Rule applies to tests and bins too: a kernel compiled for a feature the
+    // CPU may lack is unsound wherever it lives.
+    let src = "/// # Safety\n/// AVX2 required.\n#[target_feature(enable = \"avx2\")]\nunsafe fn fast() {}\nfn main() {}";
+    assert_eq!(rules_at("crates/eval/src/bin/tool.rs", src), ["simd-dispatch"]);
+}
+
+#[test]
+fn r8_flags_kernel_table_resolution_in_hot_regions() {
+    let hot = "// lint:hot-path\nfn score(a: &[f32], b: &[f32]) -> f32 {\n (crate::simd::kernels().squared_l2)(a, b)\n}";
+    assert_eq!(rules_at(LIB, hot), ["simd-dispatch"]);
+    let hot = "// lint:hot-path\nfn pick() {\n if std::arch::is_x86_feature_detected!(\"avx2\") {}\n}";
+    assert_eq!(rules_at(LIB, hot), ["simd-dispatch"]);
+    // The same resolution outside a hot region is the intended setup path.
+    let cold = "fn resolve(s: &mut Scratch) { s.table = crate::simd::kernels(); }";
+    assert_eq!(rules_at(LIB, cold), [] as [&str; 0]);
+    // Reading the already-cached table in a hot region is the whole point.
+    let hot = "// lint:hot-path\nfn score(s: &Scratch, a: &[f32], b: &[f32]) -> f32 {\n (s.table().squared_l2)(a, b)\n}";
+    assert_eq!(rules_at(LIB, hot), [] as [&str; 0]);
+    // A reasoned allow suppresses.
+    let src = "// lint:hot-path\nfn score(a: &[f32], b: &[f32]) -> f32 {\n // lint:allow(simd-dispatch): one-shot path, no per-candidate loop\n (crate::simd::kernels().squared_l2)(a, b)\n}";
+    assert_eq!(rules_at(LIB, src), [] as [&str; 0]);
 }
 
 #[test]

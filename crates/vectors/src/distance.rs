@@ -6,9 +6,12 @@
 //! monotone in the true distance and saves a square root per comparison),
 //! exactly as the released NSG / HNSW implementations do.
 //!
-//! The kernels are written over 8-lane chunks with independent accumulators so
-//! that LLVM auto-vectorizes them into SIMD on any target without `unsafe`
-//! or per-architecture intrinsics.
+//! The free functions here dispatch through the process-wide
+//! [`crate::simd`] kernel table: explicit SSE2/AVX2/NEON implementations
+//! selected once by runtime CPU-feature detection (`NSG_SIMD` overrides),
+//! with a portable scalar fallback that every ISA path is bit-identical to.
+//! Search hot loops avoid even this one table read by caching the resolved
+//! table in [`crate::store::QueryScratch`] at `prepare_query` time.
 //!
 //! [`CountingDistance`] wraps any metric and counts evaluations; Figure 8 of
 //! the paper plots the number of distance computations each algorithm needs to
@@ -56,48 +59,19 @@ pub struct Euclidean;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InnerProduct;
 
-/// Computes `sum (a_i - b_i)^2` with four independent accumulators so the
-/// compiler can vectorize and pipeline the loop.
+/// Computes `sum (a_i - b_i)^2` through the process-wide SIMD kernel table
+/// (resolved once; see [`crate::simd::kernels`]).
 #[inline]
 pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 8;
-    let (a_main, a_tail) = a.split_at(chunks * 8);
-    let (b_main, b_tail) = b.split_at(chunks * 8);
-    for (ca, cb) in a_main.chunks_exact(8).zip(b_main.chunks_exact(8)) {
-        for lane in 0..4 {
-            let d0 = ca[2 * lane] - cb[2 * lane];
-            let d1 = ca[2 * lane + 1] - cb[2 * lane + 1];
-            acc[lane] += d0 * d0 + d1 * d1;
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        let d = x - y;
-        sum += d * d;
-    }
-    sum
+    (crate::simd::kernels().squared_l2)(a, b)
 }
 
-/// Computes `sum a_i * b_i` with independent accumulators (auto-vectorizable).
+/// Computes `sum a_i * b_i` through the process-wide SIMD kernel table.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 8;
-    let (a_main, a_tail) = a.split_at(chunks * 8);
-    let (b_main, b_tail) = b.split_at(chunks * 8);
-    for (ca, cb) in a_main.chunks_exact(8).zip(b_main.chunks_exact(8)) {
-        for lane in 0..4 {
-            acc[lane] += ca[2 * lane] * cb[2 * lane] + ca[2 * lane + 1] * cb[2 * lane + 1];
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        sum += x * y;
-    }
-    sum
+    (crate::simd::kernels().dot)(a, b)
 }
 
 /// Computes the squared l2 norm of `a`.

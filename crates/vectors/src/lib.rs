@@ -26,6 +26,9 @@
 //! * [`quant`] — the SQ8 scalar-quantized store (one byte per dimension,
 //!   bounded error, 4× less bandwidth) and the shared quantized-distance
 //!   kernels (SQ8 asymmetric l2 / dot, PQ's ADC table accumulation),
+//! * [`simd`] — explicit SSE2/AVX2/NEON implementations of the hot distance
+//!   shapes behind a process-wide kernel table resolved once at startup
+//!   (`NSG_SIMD` env override; scalar fallback doubles as the oracle),
 //! * [`sample`] — deterministic sampling and train/query/validation splits.
 //!
 //! All randomized routines take explicit seeds so experiments are reproducible.
@@ -45,6 +48,7 @@ pub mod metrics;
 pub mod prefetch;
 pub mod quant;
 pub mod sample;
+pub mod simd;
 pub mod store;
 pub mod synthetic;
 
@@ -56,4 +60,5 @@ pub use ground_truth::{exact_knn, exact_knn_single, GroundTruth};
 pub use prefetch::{prefetch_read, prefetch_slice};
 pub use metrics::{precision_at_k, recall_curve};
 pub use quant::{Sq8PartsError, Sq8VectorSet};
+pub use simd::{KernelTable, SimdLevel};
 pub use store::{QueryScratch, VectorStore};

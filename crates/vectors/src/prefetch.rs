@@ -100,6 +100,24 @@ pub fn lookahead_ids<'a, S: crate::store::VectorStore + ?Sized>(
     })
 }
 
+/// [`lookahead_ids`] plus a prefetch of the *prepared query* buffer: every
+/// `dist_to` streams the prepared form (the raw query for flat stores, the
+/// shifted/scaled form for SQ8) against each candidate, so its lines being
+/// resident matters as much as the candidate row's. Issued once up front —
+/// after a hop of neighbor-row traffic the query lines may have been
+/// evicted, and one batch of hints per expansion keeps them warm without
+/// per-candidate cost. `prepared`'s borrow is not captured by the returned
+/// iterator, so callers can keep mutating the surrounding context.
+// lint:hot-path
+pub fn lookahead_ids_with_query<'a, S: crate::store::VectorStore + ?Sized>(
+    ids: &'a [u32],
+    store: &'a S,
+    prepared: &[f32],
+) -> impl Iterator<Item = u32> + 'a {
+    prefetch_slice(prepared);
+    lookahead_ids(ids, store)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

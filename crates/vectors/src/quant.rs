@@ -16,9 +16,12 @@
 //!   IVFPQ index builds the tables; the inner loop every candidate pays
 //!   lives here so the workspace has exactly one implementation of it.
 //!
-//! The kernels follow the same shape as [`crate::distance::squared_l2`]:
-//! 8-lane chunks with independent accumulators so LLVM auto-vectorizes the
-//! `u8 → f32` widening loops without `unsafe` or per-architecture intrinsics.
+//! The free-function kernels dispatch through the process-wide
+//! [`crate::simd`] table (explicit SSE2/AVX2/NEON paths with packed
+//! `u8 → f32` widening, resolved once at startup). The search hot loop
+//! avoids even that single table read: [`Sq8VectorSet::prepare_query`]
+//! caches the resolved table in the [`QueryScratch`], and `dist_to` calls
+//! straight through the cached function pointers.
 
 use crate::arena::Arena;
 use crate::distance::{Distance, DistanceKind};
@@ -36,85 +39,32 @@ pub const SQ8_LEVELS: usize = 256;
 /// subtraction moved to the query side, so the per-candidate cost is one
 /// widening multiply-subtract-square per dimension over a 4× smaller stream.
 #[inline]
-// lint:hot-path
 pub fn sq8_asym_l2(t: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
     debug_assert_eq!(t.len(), codes.len());
     debug_assert_eq!(t.len(), scale.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = t.len() / 8;
-    let split = chunks * 8;
-    let (t_main, t_tail) = t.split_at(split);
-    let (s_main, s_tail) = scale.split_at(split);
-    let (c_main, c_tail) = codes.split_at(split);
-    for ((ct, cs), cc) in t_main
-        .chunks_exact(8)
-        .zip(s_main.chunks_exact(8))
-        .zip(c_main.chunks_exact(8))
-    {
-        // Widen the code bytes as a separate pass so LLVM emits one packed
-        // u8→f32 conversion per chunk instead of eight scalar ones
-        // interleaved with the arithmetic (measured 10×+ on this kernel).
-        let mut cf = [0.0f32; 8];
-        for (f, &c) in cf.iter_mut().zip(cc) {
-            *f = f32::from(c);
-        }
-        for lane in 0..4 {
-            let d0 = ct[2 * lane] - cs[2 * lane] * cf[2 * lane];
-            let d1 = ct[2 * lane + 1] - cs[2 * lane + 1] * cf[2 * lane + 1];
-            acc[lane] += d0 * d0 + d1 * d1;
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for ((x, s), c) in t_tail.iter().zip(s_tail).zip(c_tail) {
-        let d = x - s * f32::from(*c);
-        sum += d * d;
-    }
-    sum
+    (crate::simd::kernels().sq8_asym_l2)(t, scale, codes)
 }
 
 /// Asymmetric dot-product kernel: `Σᵢ wᵢ·cᵢ` where `wᵢ = qᵢ·scaleᵢ` was
 /// precomputed once per query (the `Σ qᵢ·minᵢ` constant is folded into the
-/// scratch bias). Same 8-lane accumulator shape as [`sq8_asym_l2`].
+/// scratch bias). Dispatches through the same [`crate::simd`] table.
 #[inline]
-// lint:hot-path
 pub fn sq8_asym_dot(w: &[f32], codes: &[u8]) -> f32 {
     debug_assert_eq!(w.len(), codes.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = w.len() / 8;
-    let split = chunks * 8;
-    let (w_main, w_tail) = w.split_at(split);
-    let (c_main, c_tail) = codes.split_at(split);
-    for (cw, cc) in w_main.chunks_exact(8).zip(c_main.chunks_exact(8)) {
-        // Widen-first, as in `sq8_asym_l2`: one packed u8→f32 conversion
-        // per chunk keeps the arithmetic loop vectorizable.
-        let mut cf = [0.0f32; 8];
-        for (f, &c) in cf.iter_mut().zip(cc) {
-            *f = f32::from(c);
-        }
-        for lane in 0..4 {
-            acc[lane] += cw[2 * lane] * cf[2 * lane] + cw[2 * lane + 1] * cf[2 * lane + 1];
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for (x, c) in w_tail.iter().zip(c_tail) {
-        sum += x * f32::from(*c);
-    }
-    sum
+    (crate::simd::kernels().sq8_asym_dot)(w, codes)
 }
 
 /// The ADC (asymmetric distance computation) scoring loop of product
 /// quantization: `Σₛ tables[s·width + codes[s]]`, one table lookup per code
 /// byte. `tables` is the flat row-major layout (`width` entries per
-/// subspace) the IVFPQ index builds once per probed list.
+/// subspace) the IVFPQ index builds once per probed list. Dispatches
+/// through the [`crate::simd`] table (AVX2 uses an 8-wide gather when
+/// `width >= 256`); per-candidate loops should hoist the function pointer
+/// (`nsg_vectors::simd::kernels().adc_accumulate`) outside the loop.
 #[inline]
-// lint:hot-path
 pub fn adc_accumulate(tables: &[f32], width: usize, codes: &[u8]) -> f32 {
     debug_assert_eq!(tables.len(), width * codes.len());
-    let mut d = 0.0f32;
-    for (s, &code) in codes.iter().enumerate() {
-        d += tables[s * width + code as usize];
-    }
-    d
+    (crate::simd::kernels().adc_accumulate)(tables, width, codes)
 }
 
 /// A set of `n` vectors scalar-quantized to one byte per dimension.
@@ -401,11 +351,13 @@ impl VectorStore for Sq8VectorSet {
         debug_assert_eq!(scratch.kind(), metric.kind(), "scratch prepared for a different metric");
         // For the concrete metric types `kind()` is a constant, so this match
         // folds away under monomorphization — each instantiation compiles to
-        // exactly one kernel call.
+        // exactly one kernel call through the table `prepare_query` cached
+        // (kernel selection already resolved; no detection work here).
+        let t = scratch.table();
         match metric.kind() {
-            DistanceKind::SquaredEuclidean => sq8_asym_l2(scratch.prepared(), &self.scale, self.code(id)),
-            DistanceKind::Euclidean => sq8_asym_l2(scratch.prepared(), &self.scale, self.code(id)).sqrt(),
-            DistanceKind::InnerProduct => -(scratch.bias() + sq8_asym_dot(scratch.prepared(), self.code(id))),
+            DistanceKind::SquaredEuclidean => (t.sq8_asym_l2)(scratch.prepared(), &self.scale, self.code(id)),
+            DistanceKind::Euclidean => (t.sq8_asym_l2)(scratch.prepared(), &self.scale, self.code(id)).sqrt(),
+            DistanceKind::InnerProduct => -(scratch.bias() + (t.sq8_asym_dot)(scratch.prepared(), self.code(id))),
         }
     }
 }

@@ -32,6 +32,7 @@
 //! quantized path too).
 
 use crate::distance::{Distance, DistanceKind};
+use crate::simd::KernelTable;
 use crate::VectorSet;
 
 /// Reusable per-thread scratch holding one prepared query.
@@ -40,6 +41,11 @@ use crate::VectorSet;
 /// treat it as an opaque buffer that [`VectorStore::prepare_query`] fills and
 /// [`VectorStore::dist_to`] reads. Buffers grow to the largest dimension seen
 /// and stay warm, so preparation allocates nothing after the first query.
+///
+/// The scratch also caches the resolved [`KernelTable`]: [`reset`](Self::reset)
+/// re-reads the process-wide table (one `OnceLock` load per `prepare_query`),
+/// and `dist_to` implementations call straight through the cached function
+/// pointers — the per-candidate loop performs no detection work at all.
 #[derive(Debug, Clone)]
 pub struct QueryScratch {
     /// Per-dimension prepared values (the raw query for flat stores; a
@@ -52,6 +58,9 @@ pub struct QueryScratch {
     /// builds) by `dist_to` so a scratch can never be replayed under the
     /// wrong metric.
     kind: DistanceKind,
+    /// The SIMD kernel table resolved at the last preparation; `dist_to`
+    /// reads distances through these function pointers.
+    table: &'static KernelTable,
 }
 
 impl QueryScratch {
@@ -61,6 +70,7 @@ impl QueryScratch {
             prepared: Vec::new(),
             bias: 0.0,
             kind: DistanceKind::SquaredEuclidean,
+            table: crate::simd::kernels(),
         }
     }
 
@@ -83,14 +93,23 @@ impl QueryScratch {
         self.kind
     }
 
+    /// The SIMD kernel table cached at the last preparation — the function
+    /// pointers `dist_to` implementations evaluate distances through.
+    #[inline]
+    pub fn table(&self) -> &'static KernelTable {
+        self.table
+    }
+
     /// Re-targets the scratch: clears and reserves the per-dimension buffer
-    /// (no allocation once `dim` has been seen) and records the metric kind.
-    /// Store implementations call this at the top of `prepare_query`, then
-    /// fill the returned buffer.
+    /// (no allocation once `dim` has been seen), records the metric kind and
+    /// refreshes the cached kernel table (the "at most once per
+    /// `prepare_query`" detection bound). Store implementations call this at
+    /// the top of `prepare_query`, then fill the returned buffer.
     #[inline]
     pub fn reset(&mut self, dim: usize, kind: DistanceKind, bias: f32) -> &mut Vec<f32> {
         self.kind = kind;
         self.bias = bias;
+        self.table = crate::simd::kernels();
         self.prepared.clear();
         self.prepared.reserve(dim);
         &mut self.prepared
@@ -183,20 +202,30 @@ impl VectorStore for VectorSet {
         VectorSet::memory_bytes(self)
     }
 
-    /// Flat preparation is a plain copy: the prepared form *is* the query,
-    /// so `dist_to` stays the exact `metric.distance(query, row)` call the
-    /// hard-wired loop performed.
+    /// Flat preparation is a plain copy: the prepared form *is* the query
+    /// (the kernel table the distances run through is cached by `reset`).
     #[inline]
     fn prepare_query<D: Distance + ?Sized>(&self, metric: &D, query: &[f32], scratch: &mut QueryScratch) {
         let buf = scratch.reset(query.len(), metric.kind(), 0.0);
         buf.extend_from_slice(query);
     }
 
+    /// Evaluates through the kernel table cached at preparation time — the
+    /// same math `metric.distance(query, row)` computes, minus the one
+    /// `OnceLock` read per candidate the free-function kernels would pay.
+    /// (Wrapper metrics' `distance` overrides are not consulted on this
+    /// path, matching the quantized store; evaluation counting on the store
+    /// path goes through `SearchContext` stats, not `CountingDistance`.)
     #[inline]
     // lint:hot-path
     fn dist_to<D: Distance + ?Sized>(&self, metric: &D, scratch: &QueryScratch, id: usize) -> f32 {
         debug_assert_eq!(scratch.kind(), metric.kind(), "scratch prepared for a different metric");
-        metric.distance(scratch.prepared(), self.get(id))
+        let t = scratch.table();
+        match metric.kind() {
+            DistanceKind::SquaredEuclidean => (t.squared_l2)(scratch.prepared(), self.get(id)),
+            DistanceKind::Euclidean => (t.squared_l2)(scratch.prepared(), self.get(id)).sqrt(),
+            DistanceKind::InnerProduct => -(t.dot)(scratch.prepared(), self.get(id)),
+        }
     }
 }
 

@@ -308,6 +308,58 @@ fn quantized_two_phase_search_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn prepare_query_is_allocation_free_when_warm() {
+    // The kernel-dispatch form of the guard: `prepare_query` re-resolves the
+    // SIMD kernel table and (for SQ8) refills the expanded-query scratch on
+    // every call, and `dist_to` runs the resolved kernels — none of which may
+    // touch the heap once the scratch buffers exist. Covers both stores and
+    // all three metrics so every kernel in the table is exercised.
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (base, queries) = base_and_queries(SyntheticKind::SiftLike, 600, 8, 3);
+    let sq8 = Sq8VectorSet::encode(&base);
+    let mut scratch = QueryScratch::new();
+
+    // Warm-up: size the scratch for this dimensionality under every metric.
+    for q in 0..2 {
+        base.prepare_query(&SquaredEuclidean, queries.get(q), &mut scratch);
+        let _ = base.dist_to(&SquaredEuclidean, &scratch, q);
+        sq8.prepare_query(&InnerProduct, queries.get(q), &mut scratch);
+        let _ = sq8.dist_to(&InnerProduct, &scratch, q);
+    }
+
+    let allocations = count_allocations(|| {
+        for q in 0..queries.len() {
+            let query = queries.get(q);
+            base.prepare_query(&SquaredEuclidean, query, &mut scratch);
+            let a = base.dist_to(&SquaredEuclidean, &scratch, q % base.len());
+            base.prepare_query(&Euclidean, query, &mut scratch);
+            let b = base.dist_to(&Euclidean, &scratch, q % base.len());
+            base.prepare_query(&InnerProduct, query, &mut scratch);
+            let c = base.dist_to(&InnerProduct, &scratch, q % base.len());
+            sq8.prepare_query(&SquaredEuclidean, query, &mut scratch);
+            let d = sq8.dist_to(&SquaredEuclidean, &scratch, q % sq8.len());
+            sq8.prepare_query(&Euclidean, query, &mut scratch);
+            let e = sq8.dist_to(&Euclidean, &scratch, q % sq8.len());
+            sq8.prepare_query(&InnerProduct, query, &mut scratch);
+            let f = sq8.dist_to(&InnerProduct, &scratch, q % sq8.len());
+            assert!([a, b, c, d, e, f].iter().all(|v| v.is_finite()));
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "warm prepare_query/dist_to allocated {allocations} times across {} queries",
+        queries.len()
+    );
+
+    // Sanity half: a fresh scratch must be seen allocating its buffers.
+    let cold = count_allocations(|| {
+        let mut fresh = QueryScratch::new();
+        sq8.prepare_query(&SquaredEuclidean, queries.get(0), &mut fresh);
+    });
+    assert!(cold > 0, "tracking allocator failed to observe cold-scratch allocations");
+}
+
+#[test]
 fn raw_search_on_graph_into_is_allocation_free_after_warmup() {
     // Same guard one level down, on the shared Algorithm 1 routine every
     // graph index funnels through (the configuration the
